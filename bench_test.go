@@ -1,0 +1,238 @@
+package texid
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its experiment through internal/bench (the
+// same code path as cmd/texbench) and reports the experiment's headline
+// metric via b.ReportMetric, so `go test -bench=.` doubles as a compact
+// reproduction run. Accuracy experiments use reduced dataset sizes here;
+// run `texbench` with larger -refs/-queries/-feature-scale for the full
+// picture.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"texid/internal/bench"
+)
+
+// benchOpts returns experiment options sized for the benchmark harness.
+func benchOpts() bench.Options {
+	opts := bench.DefaultOptions()
+	opts.Refs = 6
+	opts.Queries = 8
+	opts.FeatureScale = 8
+	opts.MinMatches = 6
+	opts.SystemRefs = 200_000
+	return opts
+}
+
+// lastFloat extracts the last numeric cell of a row (stripping % and x).
+func lastFloat(cells []string) float64 {
+	for i := len(cells) - 1; i >= 0; i-- {
+		s := strings.TrimSuffix(strings.TrimSuffix(cells[i], "%"), "x")
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// findRow returns the first row whose first cell contains key.
+func findRow(t *bench.Table, key string) []string {
+	for _, row := range t.Rows {
+		if strings.Contains(row[0], key) {
+			return row
+		}
+	}
+	return nil
+}
+
+func BenchmarkTable1(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table1(benchOpts())
+	}
+	if row := findRow(tb, "Speed"); row != nil {
+		// Columns: baseline, Garcia, ours, ours+FP16.
+		base, _ := strconv.ParseFloat(row[1], 64)
+		ours, _ := strconv.ParseFloat(row[3], 64)
+		b.ReportMetric(base, "baseline-img/s")
+		b.ReportMetric(ours, "top2-img/s")
+		b.ReportMetric(ours/base, "speedup")
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table2(benchOpts())
+	}
+	// Report the compression error at the production scale factor 2^-7.
+	for _, row := range tb.Rows {
+		if row[1] == "2^-7" && row[2] != "overflow" {
+			v, _ := strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+			b.ReportMetric(v, "comp-err-%")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table3(benchOpts())
+	}
+	if row := findRow(tb, "Speed"); row != nil {
+		b.ReportMetric(lastFloat(row), "batched-img/s")
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table4(benchOpts())
+	}
+	for _, row := range tb.Rows {
+		if strings.Contains(row[0], "P100") {
+			v, _ := strconv.ParseFloat(strings.TrimSuffix(row[4], "%"), 64)
+			b.ReportMetric(v, "p100-eff-%")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table5(benchOpts())
+	}
+	gpu := lastFloat(findRow(tb, "GPU memory"))
+	pinned := lastFloat(findRow(tb, "w/ pinned"))
+	b.ReportMetric(gpu, "gpu-img/s")
+	b.ReportMetric(pinned, "hybrid-img/s")
+}
+
+func BenchmarkTable6(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table6(benchOpts())
+	}
+	// Report batch-512 speeds at 1 and 8 streams.
+	var s1, s8 float64
+	for _, row := range tb.Rows {
+		if row[0] == "512" && row[1] == "1" {
+			s1, _ = strconv.ParseFloat(row[3], 64)
+		}
+		if row[0] == "512" && row[1] == "8" {
+			s8, _ = strconv.ParseFloat(row[3], 64)
+		}
+	}
+	b.ReportMetric(s1, "1stream-img/s")
+	b.ReportMetric(s8, "8stream-img/s")
+}
+
+func BenchmarkTable7(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Table7(benchOpts())
+	}
+	// Speed at the paper's operating point m=384, n=768.
+	for _, row := range tb.Rows {
+		if row[0] == "384" && row[1] == "768" {
+			b.ReportMetric(lastFloat(row), "m384-img/s")
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Fig1(benchOpts())
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	sx, _ := strconv.ParseFloat(strings.TrimSuffix(last[3], "x"), 64)
+	cx, _ := strconv.ParseFloat(strings.TrimSuffix(last[4], "x"), 64)
+	b.ReportMetric(sx, "speedup-x")
+	b.ReportMetric(cx, "capacity-x")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.Fig4(benchOpts())
+	}
+	first := tb.Rows[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	p1, _ := strconv.ParseFloat(first[1], 64)
+	p1024, _ := strconv.ParseFloat(last[1], 64)
+	b.ReportMetric(p1024/p1, "batch-speedup")
+}
+
+func BenchmarkSystem(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.System(benchOpts())
+	}
+	if row := findRow(tb, "Table-7 basis"); row != nil {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		b.ReportMetric(v, "aggregate-img/s")
+	}
+}
+
+// Extension and ablation experiments (see DESIGN.md).
+
+func BenchmarkQueryBatch(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.QueryBatch(benchOpts())
+	}
+	first := tb.Rows[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	tp1, _ := strconv.ParseFloat(first[1], 64)
+	tpN, _ := strconv.ParseFloat(last[1], 64)
+	b.ReportMetric(tpN/tp1, "throughput-gain")
+}
+
+func BenchmarkAblateSort(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.AblateSort(benchOpts())
+	}
+	b.ReportMetric(lastFloat(tb.Rows[0]), "batch1-advantage-x")
+}
+
+func BenchmarkCBIR(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.CBIR(benchOpts())
+	}
+	ours := lastFloat(tb.Rows[0])
+	pq := lastFloat(tb.Rows[2])
+	b.ReportMetric(ours, "per-image-acc-%")
+	b.ReportMetric(pq, "pq-acc-%")
+}
+
+func BenchmarkAblateDescriptor(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.AblateDescriptor(benchOpts())
+	}
+	b.ReportMetric(lastFloat(tb.Rows[1]), "surf-img/s")
+}
+
+func BenchmarkVerifyCost(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.VerifyCost(benchOpts())
+	}
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(tb.Rows[0][4], "%"), 64)
+	b.ReportMetric(v, "verify-match-share-%")
+}
+
+func BenchmarkDeviceProjection(b *testing.B) {
+	var tb *bench.Table
+	for i := 0; i < b.N; i++ {
+		tb = bench.DeviceProjection(benchOpts())
+	}
+	a100, _ := strconv.ParseFloat(tb.Rows[3][1], 64)
+	b.ReportMetric(a100, "a100-img/s")
+}

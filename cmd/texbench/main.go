@@ -1,0 +1,73 @@
+// Command texbench regenerates the paper's evaluation tables and figures
+// against the simulated devices and the synthetic dataset.
+//
+// Usage:
+//
+//	texbench                          # run everything
+//	texbench -experiment table1      # one experiment
+//	texbench -experiment table2 -refs 24 -queries 24 -feature-scale 2
+//	texbench -markdown > results.md  # EXPERIMENTS.md-style output
+//
+// Timing experiments always run at the paper's full dimensions (phantom
+// batches); accuracy experiments (Tables 2 and 7) run the real pipeline on
+// a scaled-down synthetic dataset — raise -refs/-queries/-feature-scale to
+// approach paper scale at the cost of CPU time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"texid/internal/bench"
+)
+
+func main() {
+	opts := bench.DefaultOptions()
+	experiment := flag.String("experiment", "all",
+		"experiment id: all, "+strings.Join(bench.Experiments, ", "))
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "dataset and jitter seed")
+	flag.IntVar(&opts.Refs, "refs", opts.Refs, "reference images for accuracy experiments")
+	flag.IntVar(&opts.Queries, "queries", opts.Queries, "query images for accuracy experiments")
+	flag.IntVar(&opts.ImageSize, "image-size", opts.ImageSize, "synthetic texture side in pixels")
+	flag.Float64Var(&opts.Difficulty, "difficulty", opts.Difficulty, "query perturbation strength in [0,1]")
+	flag.IntVar(&opts.FeatureScale, "feature-scale", opts.FeatureScale,
+		"divide paper feature budgets by this for functional experiments (1 = paper scale)")
+	flag.IntVar(&opts.SystemRefs, "system-refs", opts.SystemRefs, "phantom references for the Sec. 8 experiment")
+	flag.Float64Var(&opts.JitterCoV, "jitter", opts.JitterCoV, "cloud-VM jitter CoV for streaming experiments")
+	flag.IntVar(&opts.MinMatches, "min-matches", opts.MinMatches, "identification acceptance threshold for accuracy experiments")
+	flag.Parse()
+
+	var ids []string
+	if *experiment == "all" {
+		ids = bench.Experiments
+	} else {
+		ids = strings.Split(*experiment, ",")
+	}
+
+	start := time.Now()
+	var tables []*bench.Table
+	if *experiment == "all" {
+		tables = bench.All(opts)
+	} else {
+		for _, id := range ids {
+			tb, err := bench.Run(strings.TrimSpace(id), opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			tables = append(tables, tb)
+		}
+	}
+	for _, tb := range tables {
+		if *markdown {
+			fmt.Print(tb.Markdown())
+		} else {
+			fmt.Println(tb.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ran %d experiment(s) in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+}

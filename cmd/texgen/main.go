@@ -1,0 +1,106 @@
+// Command texgen generates the synthetic tea-brick texture dataset: seeded
+// reference textures plus perturbed query re-captures with ground truth,
+// written as grayscale PNGs (and optionally pre-extracted feature records).
+//
+//	texgen -out dataset -refs 50 -queries 20 -difficulty 0.6
+//	texgen -out dataset -features          # also write .feat records
+//
+// The output layout is:
+//
+//	dataset/refs/ref_000042.png
+//	dataset/queries/query_0007.png
+//	dataset/truth.csv                      # query index -> reference index
+//	dataset/refs/ref_000042.feat           # with -features
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"texid/internal/gpusim"
+	"texid/internal/sift"
+	"texid/internal/texture"
+	"texid/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("texgen: ")
+
+	out := flag.String("out", "dataset", "output directory")
+	refs := flag.Int("refs", 20, "number of reference textures")
+	queries := flag.Int("queries", 10, "number of query re-captures")
+	size := flag.Int("size", 256, "image side in pixels")
+	difficulty := flag.Float64("difficulty", 0.5, "query perturbation strength in [0,1]")
+	seed := flag.Int64("seed", 1, "generator seed")
+	features := flag.Bool("features", false, "also extract and write SIFT feature records (.feat)")
+	maxFeatures := flag.Int("max-features", 768, "feature budget per image when -features is set")
+	flag.Parse()
+
+	params := texture.DefaultGenParams()
+	params.Size = *size
+	ds := texture.BuildDataset(*seed, *refs, *queries, *difficulty, params)
+
+	refDir := filepath.Join(*out, "refs")
+	queryDir := filepath.Join(*out, "queries")
+	for _, dir := range []string{refDir, queryDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := sift.DefaultConfig()
+	cfg.MaxFeatures = *maxFeatures
+
+	writeImage := func(path string, im *texture.Image, id int64) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := texture.EncodePNG(f, im); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if *features {
+			feats := sift.Extract(im, cfg)
+			rec := &wire.FeatureRecord{
+				ID:        id,
+				Precision: gpusim.FP32,
+				Scale:     1,
+				Features:  feats.Descriptors,
+				Keypoints: feats.Keypoints,
+			}
+			featPath := path[:len(path)-len(".png")] + ".feat"
+			if err := os.WriteFile(featPath, wire.Encode(rec), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	for i, im := range ds.Refs {
+		writeImage(filepath.Join(refDir, fmt.Sprintf("ref_%06d.png", i)), im, int64(i))
+	}
+	for q, im := range ds.Queries {
+		writeImage(filepath.Join(queryDir, fmt.Sprintf("query_%04d.png", q)), im, int64(q))
+	}
+
+	truth, err := os.Create(filepath.Join(*out, "truth.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(truth, "query,reference")
+	for q, ref := range ds.Truth {
+		fmt.Fprintf(truth, "%d,%d\n", q, ref)
+	}
+	if err := truth.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("wrote %d references and %d queries to %s (difficulty %.2f, seed %d)",
+		*refs, *queries, *out, *difficulty, *seed)
+}

@@ -1,0 +1,176 @@
+// Command texsearch is the CLI client of the texsearchd REST API: it
+// extracts SIFT features from PNG images locally and enrolls, searches,
+// updates, or deletes textures.
+//
+//	texsearch -server http://127.0.0.1:8080 add -id 42 ref.png
+//	texsearch search query.png
+//	texsearch update -id 42 newref.png
+//	texsearch delete -id 42
+//	texsearch stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"texid/internal/cluster"
+	"texid/internal/gpusim"
+	"texid/internal/sift"
+	"texid/internal/texture"
+	"texid/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("texsearch: ")
+
+	server := flag.String("server", "http://127.0.0.1:8080", "texsearchd base URL")
+	refFeatures := flag.Int("ref-features", 384, "features extracted for add/update (m)")
+	queryFeatures := flag.Int("query-features", 768, "features extracted for search (n)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	api := cluster.NewClient(*server)
+
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	switch cmd {
+	case "add", "update":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		id := fs.Int("id", 0, "texture id")
+		fs.Parse(args)
+		if fs.NArg() != 1 || *id == 0 {
+			log.Fatalf("usage: texsearch %s -id N image.png", cmd)
+		}
+		rec := extract(fs.Arg(0), int64(*id), *refFeatures)
+		var err error
+		if cmd == "add" {
+			err = api.Add(rec)
+		} else {
+			err = api.Update(*id, rec)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%sed texture %d (%d features)\n", cmd, *id, rec.Features.Cols)
+
+	case "search-batch":
+		if len(args) == 0 {
+			log.Fatal("usage: texsearch search-batch q1.png q2.png ...")
+		}
+		recs := make([]*wire.FeatureRecord, len(args))
+		for i, path := range args {
+			recs[i] = extract(path, 0, *queryFeatures)
+		}
+		results, err := api.SearchBatch(recs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, res := range results {
+			verdict := "no match"
+			if res.Accepted {
+				verdict = fmt.Sprintf("texture %d (%d matches)", res.BestID, res.Score)
+			}
+			fmt.Printf("%s: %s\n", args[i], verdict)
+		}
+		if len(results) > 0 {
+			fmt.Printf("batch latency %.2f ms simulated, %.0f comparisons/s aggregate\n",
+				results[0].ElapsedUS/1000, results[0].Speed)
+		}
+
+	case "search":
+		if len(args) != 1 {
+			log.Fatal("usage: texsearch search query.png")
+		}
+		rec := extract(args[0], 0, *queryFeatures)
+		res, err := api.Search(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Accepted {
+			fmt.Printf("MATCH: texture %d (%d verified matches)\n", res.BestID, res.Score)
+		} else {
+			fmt.Printf("NO MATCH (best candidate %d with %d matches, below threshold)\n", res.BestID, res.Score)
+		}
+		fmt.Printf("compared %d references in %.2f ms simulated GPU time (%.0f images/s)\n",
+			res.Compared, res.ElapsedUS/1000, res.Speed)
+		for i, r := range res.Ranked {
+			fmt.Printf("  #%d texture %d: %d matches\n", i+1, r.RefID, r.Score)
+		}
+
+	case "delete":
+		fs := flag.NewFlagSet("delete", flag.ExitOnError)
+		id := fs.Int("id", 0, "texture id")
+		fs.Parse(args)
+		if *id == 0 {
+			log.Fatal("usage: texsearch delete -id N")
+		}
+		if err := api.Delete(*id); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deleted texture %d\n", *id)
+
+	case "stats":
+		st, err := api.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workers:    %d\n", st.Workers)
+		fmt.Printf("references: %d\n", st.References)
+		fmt.Printf("capacity:   %d images\n", st.CapacityImages)
+		fmt.Printf("cache:      %.0f GB\n", st.CacheGB)
+
+	case "health":
+		if err := api.Health(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("ok")
+
+	default:
+		usage()
+	}
+}
+
+// extract loads a PNG and extracts a feature record with the given budget.
+func extract(path string, id int64, budget int) *wire.FeatureRecord {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	im, err := texture.DecodePNG(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sift.DefaultConfig()
+	cfg.RootSIFT = true
+	cfg.MaxFeatures = budget
+	feats := sift.Extract(im, cfg)
+	if feats.Count() == 0 {
+		log.Fatalf("%s: no features detected — not enough texture", path)
+	}
+	return &wire.FeatureRecord{
+		ID:        id,
+		Precision: gpusim.FP32,
+		Scale:     1,
+		Features:  feats.Descriptors,
+		Keypoints: feats.Keypoints,
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: texsearch [-server URL] <command> [args]
+
+commands:
+  add -id N image.png       enroll a reference texture
+  update -id N image.png    replace a reference texture
+  search query.png          one-to-many identification
+  search-batch q1.png ...   batched identification (higher throughput)
+  delete -id N              remove a reference
+  stats                     cluster statistics
+  health                    liveness check`)
+	os.Exit(2)
+}

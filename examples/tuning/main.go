@@ -1,0 +1,97 @@
+// Tuning: explore the simulated GPU's performance space the way the
+// paper's evaluation does — sweep batch size (Fig. 4), stream count
+// (Table 6), and the asymmetric feature budget (Table 7) to pick an
+// operating point for a deployment.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"texid/internal/engine"
+	"texid/internal/gpusim"
+	"texid/internal/knn"
+)
+
+// phantomSpeed measures search throughput on an engine filled with phantom
+// (dimensions-only) references.
+func phantomSpeed(cfg engine.Config, refs int, hostResident bool) float64 {
+	if hostResident {
+		// Budget for a single resident batch; the rest streams over PCIe.
+		cfg.GPUCacheBytes = int64(cfg.BatchSize)*int64(cfg.RefFeatures)*int64(cfg.Dim)*2 + 1
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := e.AddPhantom(0, refs); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := e.Search(nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep.Speed
+}
+
+func base() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.Spec = gpusim.TeslaP100()
+	cfg.Precision = gpusim.FP16
+	cfg.Algorithm = knn.RootSIFT
+	cfg.RefFeatures = 768
+	cfg.QueryFeatures = 768
+	cfg.Streams = 1
+	return cfg
+}
+
+func main() {
+	fmt.Println("== batch size sweep (GPU-resident, 1 stream; cf. Fig. 4) ==")
+	for _, b := range []int{1, 16, 64, 256, 1024} {
+		cfg := base()
+		cfg.BatchSize = b
+		speed := phantomSpeed(cfg, 4096, false)
+		bar := int(speed / 1500)
+		fmt.Printf("  batch %5d: %7.0f images/s %s\n", b, speed, stars(bar))
+	}
+
+	fmt.Println("\n== stream sweep (host-resident references; cf. Table 6) ==")
+	for _, s := range []int{1, 2, 4, 8} {
+		cfg := base()
+		cfg.Spec = gpusim.WithJitter(cfg.Spec, 0.45, 42)
+		cfg.BatchSize = 512
+		cfg.Streams = s
+		speed := phantomSpeed(cfg, 16*512, true)
+		fmt.Printf("  %d stream(s): %7.0f images/s %s\n", s, speed, stars(int(speed/1500)))
+	}
+
+	fmt.Println("\n== asymmetric feature budget (batch 256; cf. Table 7) ==")
+	fmt.Println("   (accuracy cost of small m is measured in Table 7 / texbench)")
+	for _, m := range []int{768, 512, 384, 256} {
+		cfg := base()
+		cfg.BatchSize = 256
+		cfg.RefFeatures = m
+		speed := phantomSpeed(cfg, 4096, false)
+		perRef := float64(m*cfg.Dim*2) / 1024
+		fmt.Printf("  m=%3d: %7.0f images/s, %5.1f KB/reference %s\n",
+			m, speed, perRef, stars(int(speed/1500)))
+	}
+
+	fmt.Println("\npaper's chosen operating point: batch 256, 8 streams, m=384, n=768")
+}
+
+func stars(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 70 {
+		n = 70
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '*'
+	}
+	return string(out)
+}

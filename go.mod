@@ -1,0 +1,3 @@
+module texid
+
+go 1.22

@@ -1,0 +1,30 @@
+package texid
+
+import (
+	"texid/internal/cluster"
+	"texid/internal/sift"
+	"texid/internal/texture"
+)
+
+// Test-only helpers bridging the public facade and internal packages.
+
+func defaultSmallParams() texture.GenParams {
+	p := texture.DefaultGenParams()
+	p.Size = 128
+	p.Flakes = 500
+	return p
+}
+
+func generateWith(seed int64, p texture.GenParams) *Image {
+	return texture.Generate(seed, p)
+}
+
+// sys2QueryFeatures extracts query-side features with the cluster's
+// extractor configuration.
+func sys2QueryFeatures(cs *ClusterSystem, im *Image) *Features {
+	return sift.Extract(im, cs.queryCfg)
+}
+
+func newAPIClient(baseURL string) *cluster.Client {
+	return cluster.NewClient(baseURL)
+}

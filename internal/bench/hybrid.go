@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+
+	"texid/internal/engine"
+	"texid/internal/gpusim"
+	"texid/internal/knn"
+)
+
+// hybridSearchSpeed builds a phantom engine where all but one batch of
+// references is host-resident, runs one search, and returns the achieved
+// speed plus the engine's workspace size.
+func hybridSearchSpeed(spec gpusim.DeviceSpec, batch, streams, nBatches, m, n int, allGPU, pinned bool) (speed float64, workspaceGB float64) {
+	cfg := engine.DefaultConfig()
+	cfg.Spec = spec
+	cfg.BatchSize = batch
+	cfg.Streams = streams
+	cfg.Precision = gpusim.FP16
+	cfg.Algorithm = knn.RootSIFT
+	cfg.RefFeatures = m
+	cfg.QueryFeatures = n
+	cfg.Dim = paperD
+	cfg.PinnedHost = pinned
+	cfg.HostCacheBytes = 256 << 30
+	if !allGPU {
+		// Budget for exactly one resident batch: everything else demotes
+		// to the host level and must stream over PCIe per search.
+		cfg.GPUCacheBytes = int64(batch)*int64(m)*int64(paperD)*2 + 1
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: engine: %v", err))
+	}
+	if err := e.AddPhantom(0, nBatches*batch); err != nil {
+		panic(fmt.Sprintf("bench: phantom refs: %v", err))
+	}
+	rep, err := e.Search(nil, nil)
+	if err != nil {
+		panic(fmt.Sprintf("bench: search: %v", err))
+	}
+	return rep.Speed, e.Stats().WorkspaceGB
+}
+
+// Table5 reproduces Table 5: search speed with the hybrid memory cache —
+// GPU-resident vs host-resident with and without pinned memory (batch
+// 1024, single stream).
+func Table5(opts Options) *Table {
+	spec := gpusim.TeslaP100()
+	t := &Table{
+		ID:     "Table 5",
+		Title:  "Hybrid memory cache, m=n=768, batch 1024, 1 stream, Tesla P100",
+		Header: []string{"Cache type", "Speed (images/s)"},
+	}
+	gpu, _ := hybridSearchSpeed(spec, 1024, 1, 8, paperM, paperN, true, true)
+	pageable, _ := hybridSearchSpeed(spec, 1024, 1, 8, paperM, paperN, false, false)
+	pinned, _ := hybridSearchSpeed(spec, 1024, 1, 8, paperM, paperN, false, true)
+	t.AddRow("GPU memory", f0(gpu))
+	t.AddRow("Host memory w/o pinned memory", f0(pageable))
+	t.AddRow("Host memory w/ pinned memory", f0(pinned))
+	t.AddNote("paper: 45,539 / 17,619 / 25,362 images/s")
+	t.AddNote("hybrid slowdown %.1f%% (paper 43.9%%): the PCIe link is the bottleneck", (1-pinned/gpu)*100)
+	return t
+}
+
+// jitteredHybridSpeed averages hybridSearchSpeed over several jitter seeds
+// (a single seed draw swings the PCIe-bound makespan by ~±12%).
+func jitteredHybridSpeed(base gpusim.DeviceSpec, cov float64, seed0 uint64, batch, streams, nBatches, m, n int, pinned bool) (speed, wsGB float64) {
+	reps := 8
+	if cov == 0 {
+		reps = 1
+	}
+	var sum float64
+	for r := 0; r < reps; r++ {
+		spec := gpusim.WithJitter(base, cov, seed0+uint64(r)*101)
+		s, ws := hybridSearchSpeed(spec, batch, streams, nBatches, m, n, false, pinned)
+		sum += s
+		wsGB = ws
+	}
+	return sum / float64(reps), wsGB
+}
+
+// Table6 reproduces Table 6: multi-stream recovery of the hybrid-cache
+// speed loss — batch {512, 256} x streams {1, 2, 4, 8}, host-resident
+// references, pinned memory, with cloud-VM jitter enabled.
+func Table6(opts Options) *Table {
+	base := gpusim.TeslaP100()
+	t := &Table{
+		ID:     "Table 6",
+		Title:  "Multiple CPU threads and CUDA streams, m=n=768, Tesla P100, host-resident refs",
+		Header: []string{"Batch", "Streams", "Extra GPU mem (GB)", "Speed (images/s)", "Schedule efficiency"},
+	}
+	// Theoretical peak: the search is PCIe-bound when references stream
+	// from the host — bytes per image over the pinned link, adjusted for
+	// the one batch (of 16) that stays GPU-resident and needs no copy.
+	const nBatches = 16
+	bytesPerImage := float64(paperM * paperD * 2)
+	theoretical := base.PCIePinnedGBs * 1e9 / bytesPerImage * nBatches / (nBatches - 1)
+	for _, batch := range []int{512, 256} {
+		for _, streams := range []int{1, 2, 4, 8} {
+			speed, wsGB := jitteredHybridSpeed(base, opts.JitterCoV, uint64(opts.Seed)+7,
+				batch, streams, nBatches, paperM, paperN, true)
+			t.AddRow(fmt.Sprintf("%d", batch), fmt.Sprintf("%d", streams),
+				f2(wsGB), f0(speed), pct(speed/theoretical))
+		}
+	}
+	t.AddNote("theoretical PCIe-bound speed: %s images/s (paper: 47,592)", f0(theoretical))
+	t.AddNote("paper batch 512: 24,984 / 29,459 / 37,955 / 41,546 (52.5%% / 61.9%% / 79.8%% / 87.3%%)")
+	t.AddNote("paper batch 256: 24,554 / 28,259 / 36,733 / 40,310")
+	t.AddNote("deviation: our simulated overlap is cleaner than the paper's cloud VMs, so " +
+		"efficiency saturates by ~4 streams instead of climbing to 8; trend direction is preserved")
+	return t
+}

@@ -1,0 +1,158 @@
+package blas
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// GemmTN computes C = alpha·AᵀB + beta·C where A is k×m, B is k×n and C is
+// m×n (all column-major). This is the exact shape of the similarity-matrix
+// step: with A = R (d×m reference features) and B = Q (d×n query features),
+// alpha = -2 and beta = 0 produce the -2·RᵀQ term of Eq. 1.
+//
+// The kernel is parallelized over column blocks of C with one goroutine per
+// available CPU, and the inner dot product is unrolled by four. Because the
+// matrices are column-major, Aᵀ·B touches only contiguous columns of A and
+// B, so the access pattern is stream-friendly.
+func GemmTN(alpha float32, A, B *Matrix, beta float32, C *Matrix) {
+	if A.Rows != B.Rows {
+		panic(fmt.Sprintf("blas: GemmTN inner dimension mismatch %d != %d", A.Rows, B.Rows))
+	}
+	if C.Rows != A.Cols || C.Cols != B.Cols {
+		panic(fmt.Sprintf("blas: GemmTN output %dx%d, want %dx%d", C.Rows, C.Cols, A.Cols, B.Cols))
+	}
+	parallelColumns(C.Cols, func(j0, j1 int) {
+		// Process four output columns per pass over A: each column of A is
+		// then loaded once per four dot products instead of once per one,
+		// quartering the memory traffic of the dominant operand.
+		j := j0
+		for ; j+4 <= j1; j += 4 {
+			b0, b1, b2, b3 := B.Col(j), B.Col(j+1), B.Col(j+2), B.Col(j+3)
+			c0, c1, c2, c3 := C.Col(j), C.Col(j+1), C.Col(j+2), C.Col(j+3)
+			for i := 0; i < A.Cols; i++ {
+				acol := A.Col(i)
+				d0, d1, d2, d3 := dot4(acol, b0, b1, b2, b3)
+				if beta == 0 {
+					c0[i] = alpha * d0
+					c1[i] = alpha * d1
+					c2[i] = alpha * d2
+					c3[i] = alpha * d3
+				} else {
+					c0[i] = alpha*d0 + beta*c0[i]
+					c1[i] = alpha*d1 + beta*c1[i]
+					c2[i] = alpha*d2 + beta*c2[i]
+					c3[i] = alpha*d3 + beta*c3[i]
+				}
+			}
+		}
+		for ; j < j1; j++ {
+			bcol := B.Col(j)
+			ccol := C.Col(j)
+			for i := 0; i < A.Cols; i++ {
+				d := dot(A.Col(i), bcol)
+				if beta == 0 {
+					ccol[i] = alpha * d
+				} else {
+					ccol[i] = alpha*d + beta*ccol[i]
+				}
+			}
+		}
+	})
+}
+
+// dot4 computes the dot product of a against four right-hand columns in
+// one pass over a.
+func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	n := len(a)
+	_ = b0[n-1]
+	_ = b1[n-1]
+	_ = b2[n-1]
+	_ = b3[n-1]
+	for i := 0; i < n; i++ {
+		v := a[i]
+		s0 += v * b0[i]
+		s1 += v * b1[i]
+		s2 += v * b2[i]
+		s3 += v * b3[i]
+	}
+	return
+}
+
+// dot computes the float32 dot product of two equal-length slices with
+// 4-way unrolling.
+func dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// AddRowVector adds v[i] to every element of row i of C, in place. This is
+// step 4 of Algorithm 1 (adding the reference squared norms N_R), which the
+// paper performs in-place on the GPU to avoid materializing an m×n copy.
+func AddRowVector(C *Matrix, v []float32) {
+	if len(v) != C.Rows {
+		panic(fmt.Sprintf("blas: AddRowVector length %d, want %d", len(v), C.Rows))
+	}
+	parallelColumns(C.Cols, func(j0, j1 int) {
+		for j := j0; j < j1; j++ {
+			col := C.Col(j)
+			for i := range col {
+				col[i] += v[i]
+			}
+		}
+	})
+}
+
+// AddColScalar adds s to the first k elements of column j of C, in place
+// (step 6 of Algorithm 1: adding N_Q only to the k surviving candidates).
+func AddColScalar(C *Matrix, j, k int, s float32) {
+	col := C.Col(j)
+	if k > len(col) {
+		k = len(col)
+	}
+	for i := 0; i < k; i++ {
+		col[i] += s
+	}
+}
+
+// parallelColumns splits [0, n) into contiguous chunks and runs fn on each
+// chunk, using up to GOMAXPROCS goroutines. Small inputs run inline.
+func parallelColumns(n int, fn func(j0, j1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 8 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		j0 := w * chunk
+		j1 := j0 + chunk
+		if j1 > n {
+			j1 = n
+		}
+		if j0 >= j1 {
+			break
+		}
+		wg.Add(1)
+		go func(j0, j1 int) {
+			defer wg.Done()
+			fn(j0, j1)
+		}(j0, j1)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,176 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+
+	"texid/internal/half"
+)
+
+// AccumMode selects the accumulator precision of HGemmTN.
+type AccumMode int
+
+const (
+	// AccumFP16 rounds every product and every partial sum to binary16,
+	// matching pre-Volta HGEMM (Tesla P100). Overflow produces ±Inf in the
+	// output, which is the failure mode Table 2's scale-factor study guards
+	// against.
+	AccumFP16 AccumMode = iota
+	// AccumFP32 rounds products to binary16 but accumulates in float32,
+	// matching Volta tensor-core HMMA semantics (V100 w/ tensor cores).
+	AccumFP32
+)
+
+func (m AccumMode) String() string {
+	switch m {
+	case AccumFP16:
+		return "fp16-accumulate"
+	case AccumFP32:
+		return "fp32-accumulate"
+	}
+	return fmt.Sprintf("AccumMode(%d)", int(m))
+}
+
+// HalfMatrix is a dense column-major binary16 matrix, the storage format of
+// reference feature matrices in simulated device memory.
+type HalfMatrix struct {
+	Rows, Cols int
+	Stride     int
+	Data       half.Vector
+}
+
+// NewHalfMatrix allocates a zeroed rows×cols binary16 matrix.
+func NewHalfMatrix(rows, cols int) *HalfMatrix {
+	return &HalfMatrix{Rows: rows, Cols: cols, Stride: rows, Data: make(half.Vector, rows*cols)}
+}
+
+// HalfFromMatrix converts a float32 matrix to binary16 after multiplying by
+// scale. It returns the converted matrix and the number of elements that
+// overflowed to ±Inf.
+func HalfFromMatrix(m *Matrix, scale float32) (*HalfMatrix, int) {
+	h := NewHalfMatrix(m.Rows, m.Cols)
+	overflow := 0
+	for j := 0; j < m.Cols; j++ {
+		src := m.Col(j)
+		dst := h.Col(j)
+		for i, v := range src {
+			x := half.FromFloat32(v * scale)
+			if x.IsInf() {
+				overflow++
+			}
+			dst[i] = x
+		}
+	}
+	return h, overflow
+}
+
+// Col returns column j as a slice sharing the matrix's storage.
+func (m *HalfMatrix) Col(j int) half.Vector {
+	return m.Data[j*m.Stride : j*m.Stride+m.Rows]
+}
+
+// At returns element (i, j) widened to float32.
+func (m *HalfMatrix) At(i, j int) float32 { return m.Data[j*m.Stride+i].Float32() }
+
+// Bytes returns the binary16 storage footprint.
+func (m *HalfMatrix) Bytes() int { return 2 * m.Rows * m.Cols }
+
+// Float32 widens the matrix to float32.
+func (m *HalfMatrix) Float32() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		src := m.Col(j)
+		dst := out.Col(j)
+		for i, h := range src {
+			dst[i] = h.Float32()
+		}
+	}
+	return out
+}
+
+// Slice returns a view of columns [from, to) sharing storage with m.
+func (m *HalfMatrix) Slice(from, to int) *HalfMatrix {
+	if from < 0 || to > m.Cols || from > to {
+		panic(fmt.Sprintf("blas: slice [%d,%d) of %d columns", from, to, m.Cols))
+	}
+	return &HalfMatrix{
+		Rows:   m.Rows,
+		Cols:   to - from,
+		Stride: m.Stride,
+		Data:   m.Data[from*m.Stride : from*m.Stride+(to-from-1)*m.Stride+m.Rows],
+	}
+}
+
+// HGemmTN computes C = alpha·AᵀB into a float32 output matrix, where A and B
+// hold binary16 operands. Products are always formed from the binary16
+// operand values; the accumulator behaves per mode. With AccumFP16 the
+// result of every fused step is itself rounded to binary16, so C's entries
+// are exactly representable binary16 values (possibly ±Inf on overflow).
+//
+// alpha is applied after accumulation in float32, matching cuBLAS's
+// epilogue, so alpha = -2 cannot itself overflow the FP16 accumulator.
+func HGemmTN(alpha float32, A, B *HalfMatrix, mode AccumMode, C *Matrix) {
+	if A.Rows != B.Rows {
+		panic(fmt.Sprintf("blas: HGemmTN inner dimension mismatch %d != %d", A.Rows, B.Rows))
+	}
+	if C.Rows != A.Cols || C.Cols != B.Cols {
+		panic(fmt.Sprintf("blas: HGemmTN output %dx%d, want %dx%d", C.Rows, C.Cols, A.Cols, B.Cols))
+	}
+	// Widen operands once; the rounding semantics live in the accumulation.
+	aw := A.Float32()
+	bw := B.Float32()
+	parallelColumns(C.Cols, func(j0, j1 int) {
+		for j := j0; j < j1; j++ {
+			bcol := bw.Col(j)
+			ccol := C.Col(j)
+			for i := 0; i < aw.Cols; i++ {
+				var d float32
+				if mode == AccumFP16 {
+					d = dotFP16(aw.Col(i), bcol)
+				} else {
+					d = dotProductsFP16(aw.Col(i), bcol)
+				}
+				ccol[i] = alpha * d
+			}
+		}
+	})
+}
+
+// dotFP16 computes a dot product with full binary16 semantics: each product
+// and each running sum is rounded to binary16. Operands must already be
+// exactly representable in binary16 (they come from widened HalfMatrix
+// storage).
+func dotFP16(a, b []float32) float32 {
+	var acc float32
+	for i := range a {
+		acc = roundHalf(acc + roundHalf(a[i]*b[i]))
+	}
+	return acc
+}
+
+// dotProductsFP16 rounds each product to binary16 but accumulates in
+// float32 (tensor-core style).
+func dotProductsFP16(a, b []float32) float32 {
+	var acc float32
+	for i := range a {
+		acc += roundHalf(a[i] * b[i])
+	}
+	return acc
+}
+
+// roundHalf rounds a float32 through binary16 and back. It repeats
+// half.Round's fast normal-range bit trick locally so the compiler can
+// inline it into the GEMM inner loop (half.Round itself is over the inline
+// budget); TestRoundHalfMatchesHalfRound pins the two together.
+func roundHalf(f float32) float32 {
+	b := math.Float32bits(f)
+	exp := (b >> 23) & 0xFF
+	if exp-113 >= 142 { // subnormal, zero, Inf, or NaN: exact path
+		return half.Round(f)
+	}
+	r := (b + 0xFFF + ((b >> 13) & 1)) &^ 0x1FFF
+	if r&0x7FFFFFFF >= 0x47800000 {
+		return math.Float32frombits(b&0x80000000 | 0x7F800000)
+	}
+	return math.Float32frombits(r)
+}

@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"texid/internal/blas"
+	"texid/internal/sift"
+	"texid/internal/wire"
+)
+
+// The RESTful API of Sec. 8: "We can add, delete, update, and search a
+// texture image through the provided APIs in this system."
+//
+//	GET    /healthz            liveness probe
+//	GET    /v1/stats           cluster statistics
+//	POST   /v1/textures        add    {"id": 1, "record_b64": "..."}
+//	PUT    /v1/textures/{id}   update {"record_b64": "..."}
+//	DELETE /v1/textures/{id}   delete
+//	POST   /v1/search          search {"record_b64": "..."}
+//	POST   /v1/search/batch    search {"records_b64": ["...", ...]}
+//	POST   /v1/compact         reclaim tombstoned reference slots
+//
+// record_b64 is a base64 wire.FeatureRecord (the same bytes the kvstore
+// persists).
+
+// textureRequest is the body of add/update calls.
+type textureRequest struct {
+	ID        int    `json:"id,omitempty"`
+	RecordB64 string `json:"record_b64"`
+}
+
+// batchSearchRequest is the body of /v1/search/batch.
+type batchSearchRequest struct {
+	RecordsB64 []string `json:"records_b64"`
+}
+
+// SearchResponse is the body returned by /v1/search.
+type SearchResponse struct {
+	BestID    int     `json:"best_id"`
+	Score     int     `json:"score"`
+	Accepted  bool    `json:"accepted"`
+	Compared  int     `json:"compared"`
+	ElapsedUS float64 `json:"elapsed_us"`
+	Speed     float64 `json:"speed_images_per_sec"`
+	Ranked    []struct {
+		RefID int `json:"ref_id"`
+		Score int `json:"score"`
+	} `json:"ranked,omitempty"`
+}
+
+// StatsResponse is the body returned by /v1/stats.
+type StatsResponse struct {
+	Workers        int     `json:"workers"`
+	References     int     `json:"references"`
+	CapacityImages int64   `json:"capacity_images"`
+	CacheGB        float64 `json:"cache_gb"`
+}
+
+// statusRecorder captures the response code for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the cluster's HTTP API.
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Refresh occupancy gauges at scrape time.
+		s := c.Stats()
+		c.reg.Gauge("texid_references", "enrolled reference images").Set(float64(s.References))
+		c.reg.Gauge("texid_capacity_images", "hybrid cache capacity in images").Set(float64(s.CapacityImages))
+		c.reg.Gauge("texid_workers", "shard workers").Set(float64(s.Workers))
+		c.reg.Handler().ServeHTTP(w, r)
+	}))
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		s := c.Stats()
+		writeJSON(w, http.StatusOK, StatsResponse{
+			Workers:        s.Workers,
+			References:     s.References,
+			CapacityImages: s.CapacityImages,
+			CacheGB:        s.CacheGB,
+		})
+	})
+	mux.HandleFunc("/v1/textures", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req textureRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		rec, err := decodeRecord(req.RecordB64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		id := req.ID
+		if id == 0 {
+			id = int(rec.ID)
+		}
+		if err := c.Add(id, rec.Features, rec.Keypoints); err != nil {
+			httpError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+	})
+	mux.HandleFunc("/v1/textures/", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/v1/textures/"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad texture id")
+			return
+		}
+		switch r.Method {
+		case http.MethodDelete:
+			if !c.Remove(id) {
+				httpError(w, http.StatusNotFound, fmt.Sprintf("texture %d not found", id))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]int{"deleted": id})
+		case http.MethodPut:
+			var req textureRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+				return
+			}
+			rec, err := decodeRecord(req.RecordB64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			if err := c.Update(id, rec.Features, rec.Keypoints); err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]int{"updated": id})
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "PUT or DELETE")
+		}
+	})
+	mux.HandleFunc("/v1/search/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req batchSearchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		if len(req.RecordsB64) == 0 || len(req.RecordsB64) > 256 {
+			httpError(w, http.StatusBadRequest, "records_b64 must hold 1..256 records")
+			return
+		}
+		var queryFeats []*blas.Matrix
+		var queryKps [][]sift.Keypoint
+		for i, b64 := range req.RecordsB64 {
+			rec, err := decodeRecord(b64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v", i, err))
+				return
+			}
+			queryFeats = append(queryFeats, rec.Features)
+			queryKps = append(queryKps, rec.Keypoints)
+		}
+		reps, err := c.SearchBatch(queryFeats, queryKps)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		out := make([]SearchResponse, len(reps))
+		for i, rep := range reps {
+			out[i] = SearchResponse{
+				BestID:    rep.BestID,
+				Score:     rep.Score,
+				Accepted:  rep.Accepted,
+				Compared:  rep.Compared,
+				ElapsedUS: rep.ElapsedUS,
+				Speed:     rep.Speed,
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string][]SearchResponse{"results": out})
+	})
+	mux.HandleFunc("/v1/compact", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		n, err := c.Compact()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"reclaimed": n})
+	})
+	mux.HandleFunc("/v1/search", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req textureRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		rec, err := decodeRecord(req.RecordB64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		rep, err := c.Search(rec.Features, rec.Keypoints)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		resp := SearchResponse{
+			BestID:    rep.BestID,
+			Score:     rep.Score,
+			Accepted:  rep.Accepted,
+			Compared:  rep.Compared,
+			ElapsedUS: rep.ElapsedUS,
+			Speed:     rep.Speed,
+		}
+		for _, cand := range rep.Ranked {
+			if len(resp.Ranked) >= 10 {
+				break
+			}
+			resp.Ranked = append(resp.Ranked, struct {
+				RefID int `json:"ref_id"`
+				Score int `json:"score"`
+			}{cand.RefID, cand.Score})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.mAPIRequests.Inc()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(sr, r)
+		if sr.status >= 400 {
+			c.mAPIErrors.Inc()
+		}
+	})
+}
+
+func decodeRecord(b64 string) (*wire.FeatureRecord, error) {
+	if b64 == "" {
+		return nil, fmt.Errorf("missing record_b64")
+	}
+	raw, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		return nil, fmt.Errorf("bad base64: %w", err)
+	}
+	rec, err := wire.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("bad feature record: %w", err)
+	}
+	return rec, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

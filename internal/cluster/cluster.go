@@ -1,0 +1,406 @@
+// Package cluster implements the distributed texture search system of
+// Sec. 8: N shard workers (14 GPU containers in the paper, each owning one
+// simulated GPU engine with a 76 GB hybrid cache), a coordinator that
+// scatters every query to all shards and merges the ranked results, an
+// optional kvstore (Redis-role) persistence layer for serialized feature
+// records, and a RESTful HTTP API for add/delete/update/search.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"texid/internal/blas"
+	"texid/internal/engine"
+	"texid/internal/kvstore"
+	"texid/internal/match"
+	"texid/internal/metrics"
+	"texid/internal/sift"
+	"texid/internal/wire"
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Workers is the number of shard workers (GPU containers).
+	Workers int
+	// Engine is the per-worker engine configuration.
+	Engine engine.Config
+	// StoreAddr, when non-empty, connects the coordinator to a kvstore
+	// server where every enrolled record is persisted (key "tex:<id>").
+	StoreAddr string
+}
+
+// DefaultConfig returns the paper's deployment: 14 P100 workers with the
+// production engine configuration.
+func DefaultConfig() Config {
+	return Config{Workers: 14, Engine: engine.DefaultConfig()}
+}
+
+// Cluster is the coordinator plus its shard workers.
+type Cluster struct {
+	cfg     Config
+	workers []*engine.Engine
+	store   *kvstore.Client
+
+	mu     sync.Mutex
+	shards map[int]int // texture id -> worker index
+	next   int         // round-robin cursor
+
+	// Service metrics, exposed at /metrics.
+	reg            *metrics.Registry
+	mSearches      *metrics.Counter
+	mComparisons   *metrics.Counter
+	mAPIRequests   *metrics.Counter
+	mAPIErrors     *metrics.Counter
+	mSearchLatency *metrics.Histogram
+}
+
+// New builds the cluster, creating one engine per worker.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one worker, got %d", cfg.Workers)
+	}
+	c := &Cluster{cfg: cfg, shards: make(map[int]int), reg: metrics.NewRegistry()}
+	c.mSearches = c.reg.Counter("texid_searches_total", "one-to-many searches served")
+	c.mComparisons = c.reg.Counter("texid_comparisons_total", "reference comparisons performed")
+	c.mAPIRequests = c.reg.Counter("texid_api_requests_total", "HTTP API requests")
+	c.mAPIErrors = c.reg.Counter("texid_api_errors_total", "HTTP API error responses")
+	c.mSearchLatency = c.reg.Histogram("texid_search_sim_latency_ms",
+		"simulated GPU latency per search (ms)", metrics.DefBuckets)
+	for i := 0; i < cfg.Workers; i++ {
+		e, err := engine.New(cfg.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		c.workers = append(c.workers, e)
+	}
+	if cfg.StoreAddr != "" {
+		cl, err := kvstore.Dial(cfg.StoreAddr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: connecting to kvstore: %w", err)
+		}
+		if err := cl.Ping(); err != nil {
+			return nil, fmt.Errorf("cluster: kvstore ping: %w", err)
+		}
+		c.store = cl
+	}
+	return c, nil
+}
+
+// Close releases the kvstore connection (engines are garbage-collected).
+func (c *Cluster) Close() error {
+	if c.store != nil {
+		return c.store.Close()
+	}
+	return nil
+}
+
+// Workers returns the shard engines (for stats and benchmarks).
+func (c *Cluster) Workers() []*engine.Engine { return c.workers }
+
+// storeKey is the kvstore key of a texture record.
+func storeKey(id int) string { return fmt.Sprintf("tex:%d", id) }
+
+// Add enrolls a texture: references are spread round-robin so all shards
+// stay equally loaded ("all the reference feature matrices are equally
+// allocated to those 14 GPU containers"). The record is persisted to the
+// kvstore when one is configured.
+func (c *Cluster) Add(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+	c.mu.Lock()
+	if _, dup := c.shards[id]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: duplicate texture id %d", id)
+	}
+	w := c.next % len(c.workers)
+	c.next++
+	c.mu.Unlock()
+
+	if err := c.workers[w].Add(id, feats, kps); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.shards[id] = w
+	c.mu.Unlock()
+
+	if c.store != nil {
+		rec := &wire.FeatureRecord{
+			ID:        int64(id),
+			Precision: c.cfg.Engine.Precision,
+			Scale:     c.cfg.Engine.Scale,
+			Features:  feats,
+			Keypoints: kps,
+		}
+		if err := c.store.Set(storeKey(id), wire.Encode(rec)); err != nil {
+			return fmt.Errorf("cluster: persisting record %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// AddPhantom enrolls count phantom references spread evenly across the
+// workers (for paper-scale capacity/speed experiments).
+func (c *Cluster) AddPhantom(count int) error {
+	per := count / len(c.workers)
+	extra := count % len(c.workers)
+	start := 0
+	for i, w := range c.workers {
+		n := per
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		if err := w.AddPhantom(start, n); err != nil {
+			return fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		start += n
+	}
+	return nil
+}
+
+// Remove deletes a texture from its shard (and the kvstore).
+func (c *Cluster) Remove(id int) bool {
+	c.mu.Lock()
+	w, ok := c.shards[id]
+	if ok {
+		delete(c.shards, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	removed := c.workers[w].Remove(id)
+	if c.store != nil {
+		c.store.Del(storeKey(id))
+	}
+	return removed
+}
+
+// Update replaces a texture's features on its shard.
+func (c *Cluster) Update(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+	c.mu.Lock()
+	w, ok := c.shards[id]
+	c.mu.Unlock()
+	if !ok {
+		return c.Add(id, feats, kps)
+	}
+	if err := c.workers[w].Update(id, feats, kps); err != nil {
+		return err
+	}
+	if c.store != nil {
+		rec := &wire.FeatureRecord{
+			ID:        int64(id),
+			Precision: c.cfg.Engine.Precision,
+			Scale:     c.cfg.Engine.Scale,
+			Features:  feats,
+			Keypoints: kps,
+		}
+		if err := c.store.Set(storeKey(id), wire.Encode(rec)); err != nil {
+			return fmt.Errorf("cluster: persisting record %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Report is the merged outcome of a distributed search.
+type Report struct {
+	BestID   int
+	Score    int
+	Accepted bool
+	Ranked   []match.SearchResult // top candidates across all shards
+	Compared int
+	// ElapsedUS is the slowest shard's simulated time (shards run on
+	// separate GPUs in parallel); Speed is the aggregate comparison
+	// throughput.
+	ElapsedUS float64
+	Speed     float64
+	PerWorker []float64 // per-shard elapsed, for load-balance inspection
+}
+
+// Search scatters the query to every shard in parallel and merges the
+// results. A nil feats runs a phantom (timing-only) search.
+func (c *Cluster) Search(feats *blas.Matrix, kps []sift.Keypoint) (*Report, error) {
+	reports := make([]*engine.Report, len(c.workers))
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *engine.Engine) {
+			defer wg.Done()
+			reports[i], errs[i] = w.Search(feats, kps)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+	}
+
+	merged := &Report{BestID: -1, PerWorker: make([]float64, len(reports))}
+	for i, r := range reports {
+		merged.Compared += r.Compared
+		merged.PerWorker[i] = r.ElapsedUS
+		if r.ElapsedUS > merged.ElapsedUS {
+			merged.ElapsedUS = r.ElapsedUS
+		}
+		merged.Ranked = append(merged.Ranked, r.Ranked...)
+	}
+	if merged.ElapsedUS > 0 {
+		merged.Speed = float64(merged.Compared) / (merged.ElapsedUS * 1e-6)
+	}
+	c.mSearches.Inc()
+	c.mComparisons.Add(float64(merged.Compared))
+	c.mSearchLatency.Observe(merged.ElapsedUS / 1000)
+	if feats != nil {
+		top, ok := match.Identify(merged.Ranked, c.cfg.Engine.Match)
+		merged.Ranked = match.RankResults(merged.Ranked)
+		if len(merged.Ranked) > 32 {
+			merged.Ranked = merged.Ranked[:32]
+		}
+		merged.BestID = top.RefID
+		merged.Score = top.Score
+		merged.Accepted = ok
+	}
+	return merged, nil
+}
+
+// SearchBatch scatters a batch of queries to every shard (each worker
+// matches the whole query batch with one multi-query GEMM per reference
+// batch) and merges per-query results. All query matrices must have the
+// engine's descriptor dimension; shorter feature counts are padded by the
+// engine.
+func (c *Cluster) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoint) ([]*Report, error) {
+	batches := make([]*engine.BatchReport, len(c.workers))
+	errs := make([]error, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w *engine.Engine) {
+			defer wg.Done()
+			batches[i], errs[i] = w.SearchBatch(queryFeats, queryKps)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+	}
+	out := make([]*Report, len(queryFeats))
+	for qi := range queryFeats {
+		merged := &Report{BestID: -1, PerWorker: make([]float64, len(batches))}
+		for wi, br := range batches {
+			rep := br.Reports[qi]
+			merged.Compared += rep.Compared
+			merged.PerWorker[wi] = br.ElapsedUS
+			if br.ElapsedUS > merged.ElapsedUS {
+				merged.ElapsedUS = br.ElapsedUS
+			}
+			merged.Ranked = append(merged.Ranked, rep.Ranked...)
+		}
+		if merged.ElapsedUS > 0 {
+			merged.Speed = float64(merged.Compared) / (merged.ElapsedUS * 1e-6)
+		}
+		if queryFeats[qi] != nil {
+			top, ok := match.Identify(merged.Ranked, c.cfg.Engine.Match)
+			merged.Ranked = match.RankResults(merged.Ranked)
+			if len(merged.Ranked) > 32 {
+				merged.Ranked = merged.Ranked[:32]
+			}
+			merged.BestID = top.RefID
+			merged.Score = top.Score
+			merged.Accepted = ok
+		}
+		out[qi] = merged
+	}
+	return out, nil
+}
+
+// Compact rebuilds every shard's reference store, reclaiming tombstoned
+// slots left by Remove/Update. Returns the total slots reclaimed.
+func (c *Cluster) Compact() (int, error) {
+	total := 0
+	for i, w := range c.workers {
+		n, err := w.Compact()
+		if err != nil {
+			return total, fmt.Errorf("cluster: worker %d: %w", i, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Stats aggregates shard statistics.
+type Stats struct {
+	Workers        int
+	References     int
+	CapacityImages int64
+	CacheGB        float64
+	PerWorker      []engine.Stats
+}
+
+// Stats returns cluster-wide occupancy and capacity.
+func (c *Cluster) Stats() Stats {
+	s := Stats{Workers: len(c.workers)}
+	for _, w := range c.workers {
+		ws := w.Stats()
+		s.References += ws.References
+		s.CapacityImages += ws.CapacityImages
+		s.CacheGB += float64(ws.Cache.GPUBudget+ws.Cache.HostBudget) / (1 << 30)
+		s.PerWorker = append(s.PerWorker, ws)
+	}
+	return s
+}
+
+// LoadFromStore restores every persisted record from the kvstore into the
+// cluster (used at daemon startup, mirroring the paper's Redis-backed
+// recovery path).
+func (c *Cluster) LoadFromStore() (int, error) {
+	if c.store == nil {
+		return 0, fmt.Errorf("cluster: no kvstore configured")
+	}
+	keys, err := c.store.Keys("tex:*")
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, k := range keys {
+		b, ok, err := c.store.Get(k)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			continue
+		}
+		rec, err := wire.Decode(b)
+		if err != nil {
+			return n, fmt.Errorf("cluster: record %s: %w", k, err)
+		}
+		if err := c.addLoaded(int(rec.ID), rec.Features, rec.Keypoints); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// addLoaded enrolls a restored record without re-persisting it.
+func (c *Cluster) addLoaded(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+	c.mu.Lock()
+	if _, dup := c.shards[id]; dup {
+		c.mu.Unlock()
+		return nil // already resident
+	}
+	w := c.next % len(c.workers)
+	c.next++
+	c.mu.Unlock()
+	if err := c.workers[w].Add(id, feats, kps); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.shards[id] = w
+	c.mu.Unlock()
+	return nil
+}

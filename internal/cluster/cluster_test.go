@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"texid/internal/blas"
+	"texid/internal/engine"
+	"texid/internal/gpusim"
+	"texid/internal/knn"
+	"texid/internal/kvstore"
+	"texid/internal/wire"
+)
+
+// smallEngine returns a tiny functional engine config for cluster tests.
+func smallEngine() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.BatchSize = 4
+	cfg.Streams = 2
+	cfg.Precision = gpusim.FP32
+	cfg.Algorithm = knn.RootSIFT
+	cfg.RefFeatures = 24
+	cfg.QueryFeatures = 32
+	cfg.Dim = 16
+	cfg.HostCacheBytes = 1 << 30
+	cfg.Match.MinMatches = 10
+	cfg.Match.EdgeMargin = 0
+	return cfg
+}
+
+func smallCluster(t *testing.T, workers int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Workers: workers, Engine: smallEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func unitFeatures(rng *rand.Rand, d, n int) *blas.Matrix {
+	m := blas.NewMatrix(d, n)
+	for j := 0; j < n; j++ {
+		col := m.Col(j)
+		var s float64
+		for i := range col {
+			col[i] = rng.Float32()
+			s += float64(col[i]) * float64(col[i])
+		}
+		f := float32(1 / math.Sqrt(s))
+		for i := range col {
+			col[i] *= f
+		}
+	}
+	return m
+}
+
+func queryFor(rng *rand.Rand, ref *blas.Matrix, n int) *blas.Matrix {
+	q := blas.NewMatrix(ref.Rows, n)
+	for j := 0; j < n; j++ {
+		if j < ref.Cols {
+			copy(q.Col(j), ref.Col(j))
+			col := q.Col(j)
+			var s float64
+			for i := range col {
+				col[i] += (rng.Float32()*2 - 1) * 0.02
+				if col[i] < 0 {
+					col[i] = 0
+				}
+				s += float64(col[i]) * float64(col[i])
+			}
+			f := float32(1 / math.Sqrt(s))
+			for i := range col {
+				col[i] *= f
+			}
+		} else {
+			copy(q.Col(j), unitFeatures(rng, ref.Rows, 1).Col(0))
+		}
+	}
+	return q
+}
+
+func TestClusterShardsRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := smallCluster(t, 3)
+	for i := 0; i < 9; i++ {
+		if err := c.Add(i, unitFeatures(rng, 16, 24), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.References != 9 {
+		t.Fatalf("references = %d", s.References)
+	}
+	for i, ws := range s.PerWorker {
+		if ws.References != 3 {
+			t.Fatalf("worker %d holds %d refs, want 3", i, ws.References)
+		}
+	}
+}
+
+func TestClusterSearchFindsAcrossShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := smallCluster(t, 3)
+	refs := make([]*blas.Matrix, 12)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		c.Add(i, refs[i], nil)
+	}
+	// Query for a texture on each shard.
+	for _, target := range []int{0, 1, 2, 7, 11} {
+		rep, err := c.Search(queryFor(rng, refs[target], 32), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.BestID != target || !rep.Accepted {
+			t.Fatalf("target %d: got best %d (score %d, accepted %v)", target, rep.BestID, rep.Score, rep.Accepted)
+		}
+		if rep.Compared != 12 {
+			t.Fatalf("compared %d, want 12", rep.Compared)
+		}
+	}
+}
+
+func TestClusterRemoveAndUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := smallCluster(t, 2)
+	ref := unitFeatures(rng, 16, 24)
+	c.Add(5, ref, nil)
+	if !c.Remove(5) {
+		t.Fatal("Remove failed")
+	}
+	if c.Remove(5) {
+		t.Fatal("double remove reported true")
+	}
+	// Update on a missing id enrolls it.
+	newRef := unitFeatures(rng, 16, 24)
+	if err := c.Update(5, newRef, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := c.Search(queryFor(rng, newRef, 32), nil)
+	if rep.BestID != 5 || !rep.Accepted {
+		t.Fatalf("updated texture not found: %+v", rep)
+	}
+}
+
+func TestClusterDuplicateAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := smallCluster(t, 2)
+	f := unitFeatures(rng, 16, 24)
+	if err := c.Add(1, f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(1, f, nil); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+}
+
+func TestClusterPhantomAggregateSpeed(t *testing.T) {
+	// Sec. 8 shape: N workers in parallel deliver ~N× the single-GPU
+	// throughput.
+	cfg := Config{Workers: 4, Engine: engine.DefaultConfig()}
+	cfg.Engine.BatchSize = 1024
+	cfg.Engine.Streams = 1
+	cfg.Engine.RefFeatures = 768
+	cfg.Engine.QueryFeatures = 768
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPhantom(4 * 4096); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Search(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Compared != 4*4096 {
+		t.Fatalf("compared %d", rep.Compared)
+	}
+	// Single-GPU batched resident speed is ~45k; 4 workers ≈ 180k.
+	if rep.Speed < 120_000 || rep.Speed > 260_000 {
+		t.Fatalf("aggregate speed %.0f img/s, want ~180k", rep.Speed)
+	}
+	t.Logf("4-worker aggregate speed: %.0f img/s", rep.Speed)
+}
+
+func TestKVStorePersistenceAndReload(t *testing.T) {
+	srv, err := kvstore.Serve(kvstore.NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	cfg := Config{Workers: 2, Engine: smallEngine(), StoreAddr: srv.Addr()}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*blas.Matrix, 6)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		if err := c.Add(i, refs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Remove(3)
+	c.Close()
+
+	// A fresh cluster restores from the store.
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c2.LoadFromStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("restored %d records, want 5 (one was deleted)", n)
+	}
+	rep, err := c2.Search(queryFor(rng, refs[1], 32), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestID != 1 || !rep.Accepted {
+		t.Fatalf("restored texture not found: %+v", rep)
+	}
+}
+
+func TestRESTAPIEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := smallCluster(t, 2)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	api := NewClient(ts.URL)
+
+	if err := api.Health(); err != nil {
+		t.Fatal(err)
+	}
+
+	refs := make([]*blas.Matrix, 4)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		rec := &wire.FeatureRecord{ID: int64(i + 1), Precision: gpusim.FP32, Scale: 1, Features: refs[i]}
+		if err := api.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := api.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 2 || st.References != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Search via REST.
+	q := &wire.FeatureRecord{Precision: gpusim.FP32, Scale: 1, Features: queryFor(rng, refs[2], 32)}
+	res, err := api.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestID != 3 || !res.Accepted {
+		t.Fatalf("REST search = %+v", res)
+	}
+	if res.Compared != 4 || res.Speed <= 0 {
+		t.Fatalf("REST search missing metrics: %+v", res)
+	}
+
+	// Update then delete.
+	if err := api.Update(3, &wire.FeatureRecord{Precision: gpusim.FP32, Scale: 1, Features: unitFeatures(rng, 16, 24)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.Delete(3); err == nil {
+		t.Fatal("double delete should 404")
+	}
+	st, _ = api.Stats()
+	if st.References != 3 {
+		t.Fatalf("references after delete = %d", st.References)
+	}
+}
+
+func TestRESTRejectsBadInput(t *testing.T) {
+	c := smallCluster(t, 1)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	api := NewClient(ts.URL)
+
+	// Garbage base64 record.
+	err := api.doJSON("POST", "/v1/textures", textureRequest{ID: 1, RecordB64: "!!!"}, nil)
+	if err == nil {
+		t.Fatal("garbage base64 accepted")
+	}
+	// Valid base64, garbage bytes.
+	err = api.doJSON("POST", "/v1/search", textureRequest{RecordB64: "AAAA"}, nil)
+	if err == nil {
+		t.Fatal("garbage record accepted")
+	}
+	// Missing record.
+	err = api.doJSON("POST", "/v1/search", textureRequest{}, nil)
+	if err == nil {
+		t.Fatal("empty record accepted")
+	}
+	// Bad id in path.
+	err = api.doJSON("DELETE", "/v1/textures/notanumber", nil, nil)
+	if err == nil {
+		t.Fatal("bad id accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0, Engine: smallEngine()}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := New(Config{Workers: 1, Engine: smallEngine(), StoreAddr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable store accepted")
+	}
+}
+
+func TestClusterSearchBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	c := smallCluster(t, 3)
+	refs := make([]*blas.Matrix, 9)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		c.Add(i, refs[i], nil)
+	}
+	queries := []*blas.Matrix{
+		queryFor(rng, refs[1], 32),
+		queryFor(rng, refs[8], 32),
+		unitFeatures(rng, 16, 32),
+	}
+	reps, err := c.SearchBatch(queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	if reps[0].BestID != 1 || !reps[0].Accepted {
+		t.Fatalf("query 0: %+v", reps[0])
+	}
+	if reps[1].BestID != 8 || !reps[1].Accepted {
+		t.Fatalf("query 1: %+v", reps[1])
+	}
+	if reps[2].Accepted {
+		t.Fatalf("foreign query accepted: %+v", reps[2])
+	}
+	for _, rep := range reps {
+		if rep.Compared != 9 {
+			t.Fatalf("compared %d, want 9", rep.Compared)
+		}
+	}
+}
+
+func TestClusterCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	c := smallCluster(t, 2)
+	refs := make([]*blas.Matrix, 8)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		c.Add(i, refs[i], nil)
+	}
+	c.Remove(2)
+	c.Remove(5)
+	n, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("reclaimed %d, want 2", n)
+	}
+	rep, _ := c.Search(queryFor(rng, refs[7], 32), nil)
+	if rep.BestID != 7 || !rep.Accepted {
+		t.Fatalf("reference lost after cluster compact: %+v", rep)
+	}
+}
+
+func TestRESTBatchSearchAndCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	c := smallCluster(t, 2)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	api := NewClient(ts.URL)
+
+	refs := make([]*blas.Matrix, 4)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		api.Add(&wire.FeatureRecord{ID: int64(i + 1), Precision: gpusim.FP32, Scale: 1, Features: refs[i]})
+	}
+
+	recs := []*wire.FeatureRecord{
+		{Precision: gpusim.FP32, Scale: 1, Features: queryFor(rng, refs[0], 32)},
+		{Precision: gpusim.FP32, Scale: 1, Features: queryFor(rng, refs[3], 32)},
+	}
+	results, err := api.SearchBatch(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].BestID != 1 || results[1].BestID != 4 {
+		t.Fatalf("batch REST results: %+v", results)
+	}
+
+	api.Delete(2)
+	n, err := api.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("REST compact reclaimed %d", n)
+	}
+
+	// Oversized batch rejected.
+	if _, err := api.SearchBatch(make([]*wire.FeatureRecord, 0)); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	c := smallCluster(t, 2)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	api := NewClient(ts.URL)
+
+	ref := unitFeatures(rng, 16, 24)
+	api.Add(&wire.FeatureRecord{ID: 1, Precision: gpusim.FP32, Scale: 1, Features: ref})
+	api.Search(&wire.FeatureRecord{Precision: gpusim.FP32, Scale: 1, Features: queryFor(rng, ref, 32)})
+	// Provoke one API error.
+	api.Delete(999)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"texid_searches_total 1",
+		"texid_api_errors_total 1",
+		"texid_references 1",
+		"texid_workers 2",
+		"texid_search_sim_latency_ms_count 1",
+		"texid_comparisons_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n%s", want, out)
+		}
+	}
+}

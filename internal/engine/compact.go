@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+
+	"texid/internal/blas"
+	"texid/internal/knn"
+)
+
+// Compact rebuilds the reference store without dead slots. Removed and
+// updated references leave tombstoned slots behind in their immutable
+// batches — searches skip them, but they still burn cache memory and GEMM
+// work. Compact re-enrolls every live reference into fresh batches and
+// drops the old ones, returning the number of dead slots reclaimed.
+//
+// Phantom batches carry no feature payload and cannot be rebuilt; engines
+// holding phantom references return an error.
+func (e *Engine) Compact() (reclaimed int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.sealLocked(); err != nil {
+		return 0, err
+	}
+
+	// Collect live features in enrollment (uid) order so batch locality is
+	// preserved.
+	type live struct {
+		uid    int
+		public int
+		feats  *blas.Matrix
+	}
+	var all []live
+	dead := 0
+	items := e.hybrid.Items()
+	for _, it := range items {
+		sb := it.Payload.(*sealedBatch)
+		rb := sb.rb
+		if rb.Phantom() {
+			return 0, fmt.Errorf("engine: cannot compact phantom references")
+		}
+		for slot, uid := range rb.IDs {
+			public, ok := e.uidToPublic[uid]
+			if !ok {
+				dead++
+				continue
+			}
+			var feats *blas.Matrix
+			if rb.F32 != nil {
+				feats = rb.F32.Slice(slot*rb.M, (slot+1)*rb.M).Clone()
+			} else {
+				// FP16 batches widen back to float32; the storage scale is
+				// divided out so re-enrollment re-applies it identically.
+				feats = rb.F16.Slice(slot*rb.M, (slot+1)*rb.M).Float32()
+				if rb.Scale != 0 && rb.Scale != 1 {
+					inv := 1 / rb.Scale
+					for i := range feats.Data {
+						feats.Data[i] *= inv
+					}
+				}
+			}
+			all = append(all, live{uid: uid, public: public, feats: feats})
+		}
+	}
+	if dead == 0 {
+		return 0, nil
+	}
+
+	// Drop every old batch, then rebuild.
+	for _, it := range items {
+		sb := it.Payload.(*sealedBatch)
+		if sb.resident {
+			sb.rb.Free()
+			sb.resident = false
+		}
+		e.hybrid.Remove(it.ID)
+	}
+
+	var pendingUIDs []int
+	var pendingMats []*blas.Matrix
+	flush := func() error {
+		if len(pendingUIDs) == 0 {
+			return nil
+		}
+		rb, err := knn.NewRefBatch(e.dev, pendingUIDs, pendingMats, e.cfg.Precision,
+			e.cfg.Scale, e.cfg.Algorithm != knn.RootSIFT)
+		if err != nil {
+			return err
+		}
+		pendingUIDs = nil
+		pendingMats = nil
+		return e.commitBatchLocked(rb)
+	}
+	for _, l := range all {
+		pendingUIDs = append(pendingUIDs, l.uid)
+		pendingMats = append(pendingMats, l.feats)
+		if len(pendingUIDs) >= e.cfg.BatchSize {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	return dead, nil
+}

@@ -1,0 +1,300 @@
+// Package engine implements the per-GPU texture search engine: it owns one
+// simulated device, keeps reference feature matrices in the hybrid
+// GPU/host cache in sealed batches (Sec. 5's batching + Sec. 6's hybrid
+// cache), and answers one-to-many searches by scattering the cached batches
+// across multiple CUDA streams whose host-to-device copies overlap with
+// matching kernels (Sec. 6.2). It is the building block the distributed
+// system replicates across 14 GPU containers (Sec. 8).
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"texid/internal/blas"
+	"texid/internal/cache"
+	"texid/internal/gpusim"
+	"texid/internal/knn"
+	"texid/internal/match"
+	"texid/internal/sift"
+)
+
+// Config configures a search engine.
+type Config struct {
+	// Spec is the simulated device model.
+	Spec gpusim.DeviceSpec
+	// BatchSize is the number of reference feature matrices per sealed
+	// batch (the GEMM batching factor and the cache swap granularity).
+	BatchSize int
+	// Streams is the number of CUDA streams (= host CPU threads).
+	Streams int
+	// Precision and Scale select the feature storage format.
+	Precision gpusim.Precision
+	Scale     float32
+	// Accum is the FP16 GEMM accumulator mode.
+	Accum blas.AccumMode
+	// Algorithm is the 2-NN variant (RootSIFT is the production path).
+	Algorithm knn.Algorithm
+	// RefFeatures (m) and QueryFeatures (n) are the asymmetric feature
+	// budgets; Dim is the descriptor dimensionality.
+	RefFeatures   int
+	QueryFeatures int
+	Dim           int
+	// GPUCacheBytes is the device-memory budget for reference batches.
+	// Zero derives it automatically from what remains after the runtime
+	// overhead and per-stream workspaces.
+	GPUCacheBytes int64
+	// HostCacheBytes is the host-memory budget for the second cache level
+	// (the paper reserves 64 GB per container).
+	HostCacheBytes int64
+	// PinnedHost uses pinned host memory for H2D streaming.
+	PinnedHost bool
+	// Match configures the post-processing decision pipeline.
+	Match match.Config
+	// KeepKeypoints stores reference keypoints host-side for geometric
+	// verification.
+	KeepKeypoints bool
+}
+
+// DefaultConfig returns the paper's production configuration on a P100:
+// RootSIFT + FP16, batch 256, 8 streams, asymmetric 384/768 features.
+func DefaultConfig() Config {
+	return Config{
+		Spec:           gpusim.TeslaP100(),
+		BatchSize:      256,
+		Streams:        8,
+		Precision:      gpusim.FP16,
+		Scale:          1, // RootSIFT features are unit-norm; no scaling needed
+		Accum:          blas.AccumFP16,
+		Algorithm:      knn.RootSIFT,
+		RefFeatures:    384,
+		QueryFeatures:  768,
+		Dim:            sift.DescriptorDim,
+		HostCacheBytes: 64 << 30,
+		PinnedHost:     true,
+		Match:          match.DefaultConfig(),
+	}
+}
+
+// sealedBatch is one cache entry: a RefBatch plus host-side metadata.
+type sealedBatch struct {
+	rb       *knn.RefBatch
+	resident bool // device memory currently held
+}
+
+// refMeta is the host-side record of one enrolled reference image. Batches
+// index references by an internal uid so that Update can re-enroll the same
+// public id without resurrecting the superseded batch slot.
+type refMeta struct {
+	uid int
+	kps []sift.Keypoint
+}
+
+// Engine is a single-GPU texture search engine. Methods are safe for
+// concurrent use.
+type Engine struct {
+	cfg Config
+	dev *gpusim.Device
+
+	mu          sync.Mutex
+	streams     []*gpusim.Stream
+	hybrid      *cache.Hybrid
+	refs        map[int]*refMeta // public id -> meta
+	uidToPublic map[int]int      // internal uid -> public id
+	nextUID     int
+	nextBatchID int
+	pendingUIDs []int
+	pendingMats []*blas.Matrix
+	workspace   int64
+	searches    int
+}
+
+// New creates an engine, allocating per-stream device workspace (the
+// distance matrix plus staging buffers that Table 6 reports as "extra GPU
+// memory").
+func New(cfg Config) (*Engine, error) {
+	if cfg.BatchSize <= 0 || cfg.Streams <= 0 {
+		return nil, fmt.Errorf("engine: batch size %d and streams %d must be positive", cfg.BatchSize, cfg.Streams)
+	}
+	if cfg.RefFeatures <= 0 || cfg.QueryFeatures <= 0 || cfg.Dim <= 0 {
+		return nil, fmt.Errorf("engine: feature shape %d/%d/%d must be positive", cfg.RefFeatures, cfg.QueryFeatures, cfg.Dim)
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	dev := gpusim.NewDevice(cfg.Spec)
+
+	// Per-stream workspace: the (B·m)×n distance matrix plus a staging
+	// buffer for one in-flight reference chunk.
+	perStream := knn.WorkspaceBytes(cfg.BatchSize, cfg.RefFeatures, cfg.QueryFeatures, cfg.Precision) +
+		int64(cfg.BatchSize)*int64(cfg.RefFeatures)*int64(cfg.Dim)*int64(cfg.Precision.ElemBytes())
+	workspace := perStream * int64(cfg.Streams)
+	if err := dev.Alloc(workspace); err != nil {
+		return nil, fmt.Errorf("engine: allocating stream workspace: %w", err)
+	}
+
+	gpuBudget := cfg.GPUCacheBytes
+	if gpuBudget == 0 {
+		gpuBudget = dev.FreeBytes() - (256 << 20) // safety margin for queries
+	}
+	if gpuBudget <= 0 {
+		dev.Free(workspace)
+		return nil, fmt.Errorf("engine: no device memory left for the reference cache")
+	}
+
+	e := &Engine{
+		cfg:         cfg,
+		dev:         dev,
+		refs:        make(map[int]*refMeta),
+		uidToPublic: make(map[int]int),
+		workspace:   workspace,
+	}
+	// Demotion releases the batch's device bytes; the payload stays in Go
+	// memory, which doubles as the host copy.
+	e.hybrid = cache.New(gpuBudget, cfg.HostCacheBytes, func(it *cache.Item) {
+		sb := it.Payload.(*sealedBatch)
+		if sb.resident {
+			sb.rb.Free()
+			sb.resident = false
+		}
+	})
+	for i := 0; i < cfg.Streams; i++ {
+		e.streams = append(e.streams, dev.NewStream())
+	}
+	return e, nil
+}
+
+// Device exposes the simulated device (profiling, clock).
+func (e *Engine) Device() *gpusim.Device { return e.dev }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// WorkspaceBytes returns the total per-stream device workspace held by the
+// engine.
+func (e *Engine) WorkspaceBytes() int64 { return e.workspace }
+
+// Add enrolls a reference image's features under the given id. Features
+// must be Dim×RefFeatures. Keypoints may be nil unless geometric
+// verification is enabled. Batches seal automatically when BatchSize
+// references accumulate.
+func (e *Engine) Add(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.refs[id]; dup {
+		return fmt.Errorf("engine: duplicate reference id %d", id)
+	}
+	if feats.Rows != e.cfg.Dim || feats.Cols != e.cfg.RefFeatures {
+		return fmt.Errorf("engine: features are %dx%d, want %dx%d",
+			feats.Rows, feats.Cols, e.cfg.Dim, e.cfg.RefFeatures)
+	}
+	meta := &refMeta{uid: e.nextUID}
+	e.nextUID++
+	if e.cfg.KeepKeypoints {
+		meta.kps = kps
+	}
+	e.refs[id] = meta
+	e.uidToPublic[meta.uid] = id
+	e.pendingUIDs = append(e.pendingUIDs, meta.uid)
+	e.pendingMats = append(e.pendingMats, feats)
+	if len(e.pendingUIDs) >= e.cfg.BatchSize {
+		return e.sealLocked()
+	}
+	return nil
+}
+
+// AddPhantom enrolls count phantom references (dimensions only, no data)
+// for paper-scale timing experiments. Public IDs are assigned sequentially
+// from startID.
+func (e *Engine) AddPhantom(startID, count int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for done := 0; done < count; {
+		chunk := e.cfg.BatchSize
+		if count-done < chunk {
+			chunk = count - done
+		}
+		rb, err := knn.PhantomRefBatch(e.dev, chunk, e.cfg.RefFeatures, e.cfg.Dim,
+			e.cfg.Precision, e.cfg.Algorithm != knn.RootSIFT)
+		if err != nil {
+			return err
+		}
+		for i := range rb.IDs {
+			uid := e.nextUID
+			e.nextUID++
+			public := startID + done + i
+			rb.IDs[i] = uid
+			e.refs[public] = &refMeta{uid: uid}
+			e.uidToPublic[uid] = public
+		}
+		if err := e.commitBatchLocked(rb); err != nil {
+			return err
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// Flush seals any pending (not yet batch-sized) references so they become
+// searchable.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sealLocked()
+}
+
+// sealLocked turns the pending references into a device batch and inserts
+// it into the hybrid cache.
+func (e *Engine) sealLocked() error {
+	if len(e.pendingUIDs) == 0 {
+		return nil
+	}
+	rb, err := knn.NewRefBatch(e.dev, e.pendingUIDs, e.pendingMats, e.cfg.Precision,
+		e.cfg.Scale, e.cfg.Algorithm != knn.RootSIFT)
+	if err != nil {
+		return err
+	}
+	e.pendingUIDs = nil
+	e.pendingMats = nil
+	return e.commitBatchLocked(rb)
+}
+
+// commitBatchLocked inserts a built RefBatch into the hybrid cache,
+// handling FIFO demotion bookkeeping.
+func (e *Engine) commitBatchLocked(rb *knn.RefBatch) error {
+	sb := &sealedBatch{rb: rb, resident: true}
+	if _, err := e.hybrid.Add(e.nextBatchID, rb.Bytes(), sb); err != nil {
+		rb.Free()
+		for _, uid := range rb.IDs {
+			if public, ok := e.uidToPublic[uid]; ok {
+				delete(e.refs, public)
+				delete(e.uidToPublic, uid)
+			}
+		}
+		return fmt.Errorf("engine: cache full: %w", err)
+	}
+	e.nextBatchID++
+	return nil
+}
+
+// Remove deletes a reference: its batch slot remains physically present
+// (FIFO batches are immutable) but is no longer mapped to any public id,
+// so searches skip it. Returns false for unknown ids.
+func (e *Engine) Remove(id int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	meta, ok := e.refs[id]
+	if !ok {
+		return false
+	}
+	delete(e.refs, id)
+	delete(e.uidToPublic, meta.uid)
+	return true
+}
+
+// Update replaces a reference's features: the old batch slot is unmapped
+// and the new features enroll under the same public id.
+func (e *Engine) Update(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+	e.Remove(id)
+	return e.Add(id, feats, kps)
+}

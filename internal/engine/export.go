@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"texid/internal/blas"
+	"texid/internal/sift"
+)
+
+// Export visits every live reference in enrollment order, passing its
+// public id, feature matrix (widened from FP16 with the storage scale
+// divided out, so it is in original descriptor units), and keypoints (nil
+// unless KeepKeypoints). It is the basis for snapshot persistence.
+// Engines holding phantom references cannot be exported.
+func (e *Engine) Export(visit func(id int, feats *blas.Matrix, kps []sift.Keypoint) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.sealLocked(); err != nil {
+		return err
+	}
+	type entry struct {
+		uid    int
+		public int
+		feats  *blas.Matrix
+	}
+	var all []entry
+	for _, it := range e.hybrid.Items() {
+		sb := it.Payload.(*sealedBatch)
+		rb := sb.rb
+		if rb.Phantom() {
+			return fmt.Errorf("engine: cannot export phantom references")
+		}
+		for slot, uid := range rb.IDs {
+			public, ok := e.uidToPublic[uid]
+			if !ok {
+				continue // tombstoned
+			}
+			var feats *blas.Matrix
+			if rb.F32 != nil {
+				feats = rb.F32.Slice(slot*rb.M, (slot+1)*rb.M).Clone()
+			} else {
+				feats = rb.F16.Slice(slot*rb.M, (slot+1)*rb.M).Float32()
+				if rb.Scale != 0 && rb.Scale != 1 {
+					inv := 1 / rb.Scale
+					for i := range feats.Data {
+						feats.Data[i] *= inv
+					}
+				}
+			}
+			all = append(all, entry{uid: uid, public: public, feats: feats})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].uid < all[j].uid })
+	for _, en := range all {
+		var kps []sift.Keypoint
+		if meta := e.refs[en.public]; meta != nil {
+			kps = meta.kps
+		}
+		if err := visit(en.public, en.feats, kps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

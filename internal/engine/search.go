@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+
+	"texid/internal/blas"
+	"texid/internal/cache"
+	"texid/internal/knn"
+	"texid/internal/match"
+	"texid/internal/sift"
+)
+
+// Report is the outcome of one one-to-many search.
+type Report struct {
+	// BestID is the highest-scoring reference (-1 if the index is empty);
+	// Accepted says whether it cleared the MinMatches decision threshold.
+	BestID   int
+	Score    int
+	Accepted bool
+	// Ranked holds every scored candidate in descending score order
+	// (omitted for phantom searches).
+	Ranked []match.SearchResult
+	// Compared is the number of reference images matched.
+	Compared int
+	// ElapsedUS is the simulated wall time of the search and Speed the
+	// resulting throughput in image comparisons per second.
+	ElapsedUS float64
+	Speed     float64
+}
+
+// Search runs a one-to-many search of the query features (Dim×QueryFeatures)
+// against every cached reference. queryKps may be nil unless geometric
+// verification is enabled. Cached batches are scattered round-robin across
+// the engine's streams; host-resident batches stream over PCIe, overlapping
+// with other streams' kernels.
+func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.sealLocked(); err != nil {
+		return nil, err
+	}
+
+	var q *knn.Query
+	var err error
+	phantom := queryFeats == nil
+	if phantom {
+		q, err = knn.PhantomQuery(e.dev, e.cfg.QueryFeatures, e.cfg.Dim)
+	} else {
+		if queryFeats.Rows != e.cfg.Dim {
+			return nil, fmt.Errorf("engine: query dim %d, want %d", queryFeats.Rows, e.cfg.Dim)
+		}
+		q, err = knn.NewQuery(e.dev, queryFeats, e.cfg.Scale)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer q.Free()
+
+	items := e.hybrid.Items()
+	opts := knn.Options{
+		Algorithm: e.cfg.Algorithm,
+		Precision: e.cfg.Precision,
+		Scale:     e.cfg.Scale,
+		Accum:     e.cfg.Accum,
+	}
+
+	start := e.dev.Synchronize()
+	// Round-robin issue across streams: chunk r of stream s is batch
+	// items[r*S+s]. Interleaving approximates concurrent host threads
+	// while keeping the simulation deterministic.
+	S := len(e.streams)
+	type issued struct {
+		rb      *knn.RefBatch
+		results []knn.Pair2NN
+	}
+	var all []issued
+	for base := 0; base < len(items); base += S {
+		for s := 0; s < S && base+s < len(items); s++ {
+			it := items[base+s]
+			sb := it.Payload.(*sealedBatch)
+			stream := e.streams[s]
+			if it.Loc == cache.OnHost {
+				// Stream the batch into this stream's staging buffer.
+				stream.CopyH2D(sb.rb.Bytes(), e.cfg.PinnedHost, nil)
+			}
+			res, err := knn.MatchBatch(stream, sb.rb, q, opts)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, issued{rb: sb.rb, results: res})
+		}
+	}
+	elapsed := e.dev.Synchronize() - start
+	e.searches++
+
+	report := &Report{BestID: -1, ElapsedUS: elapsed}
+	for _, iss := range all {
+		report.Compared += iss.rb.Count()
+	}
+	if elapsed > 0 {
+		report.Speed = float64(report.Compared) / (elapsed * 1e-6)
+	}
+	if phantom {
+		return report, nil
+	}
+
+	// Score every live reference.
+	for _, iss := range all {
+		for _, pair := range iss.results {
+			public, live := e.uidToPublic[pair.RefID]
+			if !live {
+				continue
+			}
+			meta := e.refs[public]
+			score := match.PairScore(pair, meta.kps, queryKps, e.cfg.Match)
+			report.Ranked = append(report.Ranked, match.SearchResult{RefID: public, Score: score})
+		}
+	}
+	top, ok := match.Identify(report.Ranked, e.cfg.Match)
+	report.Ranked = match.RankResults(report.Ranked)
+	report.BestID = top.RefID
+	report.Score = top.Score
+	report.Accepted = ok
+	return report, nil
+}
+
+// Stats summarizes the engine state.
+type Stats struct {
+	References int
+	Batches    int
+	Cache      cache.Stats
+	// CapacityImages is the total number of references the hybrid cache
+	// can hold at the engine's footprint per reference.
+	CapacityImages int64
+	// BytesPerRef is the cache footprint of one reference image.
+	BytesPerRef int64
+	Searches    int
+	WorkspaceGB float64
+}
+
+// Stats returns current occupancy and capacity figures.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	perRef := int64(e.cfg.RefFeatures) * int64(e.cfg.Dim) * int64(e.cfg.Precision.ElemBytes())
+	if e.cfg.Algorithm != knn.RootSIFT {
+		perRef += int64(e.cfg.RefFeatures) * 4 // norm vector
+	}
+	cs := e.hybrid.Stats()
+	return Stats{
+		References:     len(e.refs),
+		Batches:        cs.GPUItems + cs.HostItems,
+		Cache:          cs,
+		CapacityImages: e.hybrid.CapacityImages(perRef),
+		BytesPerRef:    perRef,
+		Searches:       e.searches,
+		WorkspaceGB:    float64(e.workspace) / (1 << 30),
+	}
+}

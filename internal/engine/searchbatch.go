@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+
+	"texid/internal/blas"
+	"texid/internal/cache"
+	"texid/internal/knn"
+	"texid/internal/match"
+	"texid/internal/sift"
+)
+
+// BatchReport is the outcome of a multi-query search: per-query reports
+// plus the batch-level throughput/latency trade-off (Sec. 5.3: batching
+// queries raises throughput but every query's latency becomes the whole
+// batch's completion time).
+type BatchReport struct {
+	Reports []*Report
+	// ElapsedUS is the simulated completion time of the whole batch; it is
+	// also every individual query's latency.
+	ElapsedUS float64
+	// Throughput is reference comparisons per second across the batch.
+	Throughput float64
+	// Compared is the total number of (query, reference) comparisons.
+	Compared int
+}
+
+// SearchBatch answers several queries in one pass: query feature matrices
+// are padded to the engine's QueryFeatures budget, concatenated, and matched
+// with one GEMM per reference batch (knn.MatchMultiQuery). Only the
+// RootSIFT algorithm supports query batching. A nil entry (or nil slice
+// with count > 0 via SearchBatchPhantom) runs phantom timing.
+func (e *Engine) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoint) (*BatchReport, error) {
+	if e.cfg.Algorithm != knn.RootSIFT {
+		return nil, fmt.Errorf("engine: query batching requires the RootSIFT algorithm")
+	}
+	if len(queryFeats) == 0 {
+		return nil, fmt.Errorf("engine: empty query batch")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.sealLocked(); err != nil {
+		return nil, err
+	}
+
+	queries := make([]*knn.Query, len(queryFeats))
+	for i, qf := range queryFeats {
+		var q *knn.Query
+		var err error
+		if qf == nil {
+			q, err = knn.PhantomQuery(e.dev, e.cfg.QueryFeatures, e.cfg.Dim)
+		} else {
+			if qf.Rows != e.cfg.Dim {
+				return nil, fmt.Errorf("engine: query %d dim %d, want %d", i, qf.Rows, e.cfg.Dim)
+			}
+			q, err = knn.NewQuery(e.dev, padQueryColumns(qf, e.cfg.QueryFeatures), e.cfg.Scale)
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer q.Free()
+		queries[i] = q
+	}
+
+	items := e.hybrid.Items()
+	opts := knn.Options{
+		Algorithm: e.cfg.Algorithm,
+		Precision: e.cfg.Precision,
+		Scale:     e.cfg.Scale,
+		Accum:     e.cfg.Accum,
+	}
+
+	start := e.dev.Synchronize()
+	S := len(e.streams)
+	type issued struct {
+		rb      *knn.RefBatch
+		results [][]knn.Pair2NN
+	}
+	var all []issued
+	for base := 0; base < len(items); base += S {
+		for s := 0; s < S && base+s < len(items); s++ {
+			it := items[base+s]
+			sb := it.Payload.(*sealedBatch)
+			stream := e.streams[s]
+			if it.Loc == cache.OnHost {
+				stream.CopyH2D(sb.rb.Bytes(), e.cfg.PinnedHost, nil)
+			}
+			res, err := knn.MatchMultiQuery(stream, sb.rb, queries, opts)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, issued{rb: sb.rb, results: res})
+		}
+	}
+	elapsed := e.dev.Synchronize() - start
+	e.searches += len(queries)
+
+	br := &BatchReport{ElapsedUS: elapsed}
+	phantom := queryFeats[0] == nil
+	for qi := range queries {
+		rep := &Report{BestID: -1, ElapsedUS: elapsed}
+		for _, iss := range all {
+			rep.Compared += iss.rb.Count()
+			if phantom {
+				continue
+			}
+			for _, pair := range iss.results[qi] {
+				public, live := e.uidToPublic[pair.RefID]
+				if !live {
+					continue
+				}
+				meta := e.refs[public]
+				var kps []sift.Keypoint
+				if queryKps != nil && qi < len(queryKps) {
+					kps = queryKps[qi]
+				}
+				score := match.PairScore(pair, meta.kps, kps, e.cfg.Match)
+				rep.Ranked = append(rep.Ranked, match.SearchResult{RefID: public, Score: score})
+			}
+		}
+		if !phantom {
+			top, ok := match.Identify(rep.Ranked, e.cfg.Match)
+			rep.Ranked = match.RankResults(rep.Ranked)
+			rep.BestID = top.RefID
+			rep.Score = top.Score
+			rep.Accepted = ok
+		}
+		br.Compared += rep.Compared
+		br.Reports = append(br.Reports, rep)
+	}
+	if elapsed > 0 {
+		br.Throughput = float64(br.Compared) / (elapsed * 1e-6)
+		for _, rep := range br.Reports {
+			rep.Speed = br.Throughput / float64(len(br.Reports))
+		}
+	}
+	return br, nil
+}
+
+// SearchBatchPhantom runs a timing-only batched-query search with count
+// phantom queries.
+func (e *Engine) SearchBatchPhantom(count int) (*BatchReport, error) {
+	return e.SearchBatch(make([]*blas.Matrix, count), nil)
+}
+
+// padQueryColumns pads a query feature matrix with zero columns up to n.
+// Zero descriptors are harmless under RootSIFT matching: they sit at
+// distance sqrt(2) from every unit-norm reference feature, so best equals
+// second-best and the ratio test always rejects them.
+func padQueryColumns(q *blas.Matrix, n int) *blas.Matrix {
+	if q.Cols >= n {
+		return q
+	}
+	out := blas.NewMatrix(q.Rows, n)
+	for j := 0; j < q.Cols; j++ {
+		copy(out.Col(j), q.Col(j))
+	}
+	return out
+}

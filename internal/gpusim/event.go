@@ -1,0 +1,53 @@
+package gpusim
+
+// Event is a CUDA-style marker on a stream's timeline: Record captures the
+// stream's current completion horizon, WaitEvent makes another stream's
+// subsequent operations start no earlier than that point, and Elapsed
+// measures inter-event simulated time. Events are how real CUDA code
+// builds cross-stream dependency graphs (e.g. a dedicated copy stream
+// feeding several compute streams); the engine's round-robin issue achieves
+// the same overlap implicitly, so events are provided for completeness and
+// for downstream users building custom schedules.
+type Event struct {
+	dev    *Device
+	timeUS float64
+	set    bool
+}
+
+// NewEvent creates an unrecorded event.
+func (d *Device) NewEvent() *Event { return &Event{dev: d} }
+
+// Record captures s's current tail: the event "fires" when all work
+// enqueued on s so far completes.
+func (s *Stream) Record(e *Event) {
+	s.dev.mu.Lock()
+	defer s.dev.mu.Unlock()
+	e.timeUS = s.tailUS
+	e.set = true
+}
+
+// WaitEvent stalls the stream until the event fires: subsequent operations
+// on s start no earlier than the recorded time. Waiting on an unrecorded
+// event is a no-op (as in CUDA).
+func (s *Stream) WaitEvent(e *Event) {
+	s.dev.mu.Lock()
+	defer s.dev.mu.Unlock()
+	if e.set && e.timeUS > s.tailUS {
+		s.tailUS = e.timeUS
+	}
+}
+
+// TimeUS returns the event's recorded simulated time (0 if unrecorded).
+func (e *Event) TimeUS() float64 {
+	e.dev.mu.Lock()
+	defer e.dev.mu.Unlock()
+	return e.timeUS
+}
+
+// Elapsed returns the simulated microseconds between two recorded events
+// (CUDA's cudaEventElapsedTime).
+func (e *Event) Elapsed(since *Event) float64 {
+	e.dev.mu.Lock()
+	defer e.dev.mu.Unlock()
+	return e.timeUS - since.timeUS
+}

@@ -1,0 +1,180 @@
+// Package half implements IEEE 754 binary16 (half-precision) floating point.
+//
+// The texture-identification engine stores reference feature matrices in
+// half precision to double the effective cache capacity and exploit the
+// simulated GPU's FP16 arithmetic paths. The paper's Table 2 studies how a
+// scale factor applied before the FP32→FP16 conversion trades overflow
+// against compression error; this package provides the exact conversion and
+// arithmetic semantics needed to reproduce that study, including
+// round-to-nearest-even and overflow to ±Inf (pre-Volta HGEMM accumulates in
+// FP16, so overflow is observable in the distance matrix).
+package half
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value stored in its raw bit pattern:
+// 1 sign bit, 5 exponent bits (bias 15), 10 fraction bits.
+type Float16 uint16
+
+const (
+	// PositiveInfinity and NegativeInfinity are the binary16 infinities.
+	PositiveInfinity Float16 = 0x7C00
+	NegativeInfinity Float16 = 0xFC00
+
+	// MaxValue is the largest finite binary16 value, 65504.
+	MaxValue Float16 = 0x7BFF
+	// SmallestNormal is the smallest positive normal value, 2^-14.
+	SmallestNormal Float16 = 0x0400
+	// SmallestSubnormal is the smallest positive subnormal value, 2^-24.
+	SmallestSubnormal Float16 = 0x0001
+)
+
+// Max is the largest finite value representable in binary16, as a float32.
+const Max float32 = 65504
+
+// FromFloat32 converts a float32 to binary16 with round-to-nearest-even,
+// the rounding mode used by CUDA's __float2half_rn and by cuBLAS HGEMM.
+// Values whose magnitude exceeds 65504 after rounding become ±Inf.
+func FromFloat32(f float32) Float16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if frac != 0 {
+			// NaN: keep a quiet NaN with some payload.
+			return Float16(sign | 0x7E00)
+		}
+		return Float16(sign | 0x7C00)
+	case exp == 0 && frac == 0: // signed zero
+		return Float16(sign)
+	}
+
+	// Unbiased exponent of the float32 value.
+	e := exp - 127
+
+	if e > 15 {
+		// Too large for binary16 even before rounding.
+		return Float16(sign | 0x7C00)
+	}
+
+	if e >= -14 {
+		// Normal binary16 range. Keep 10 fraction bits, round the rest.
+		he := uint16(e+15) << 10
+		hf := uint16(frac >> 13)
+		// Round to nearest even on the 13 discarded bits.
+		rem := frac & 0x1FFF
+		half := uint32(0x1000)
+		if rem > half || (rem == half && hf&1 == 1) {
+			hf++
+			if hf == 0x400 { // fraction overflow: bump exponent
+				hf = 0
+				he += 1 << 10
+				if he >= 0x7C00 {
+					return Float16(sign | 0x7C00)
+				}
+			}
+		}
+		return Float16(sign | he | hf)
+	}
+
+	if e < -25 {
+		// Rounds to zero even as a subnormal.
+		return Float16(sign)
+	}
+
+	// Subnormal binary16: implicit leading 1 must be made explicit and the
+	// whole significand shifted right.
+	sig := frac | 0x800000 // 24-bit significand with explicit leading 1
+	shift := uint32(-e - 14 + 13)
+	hf := uint16(sig >> shift)
+	rem := sig & ((1 << shift) - 1)
+	half := uint32(1) << (shift - 1)
+	if rem > half || (rem == half && hf&1 == 1) {
+		hf++
+		// A subnormal rounding up into 0x400 becomes the smallest normal,
+		// which the bit pattern already encodes correctly.
+	}
+	return Float16(sign | hf)
+}
+
+// Float32 converts a binary16 value to float32 exactly (the conversion is
+// always lossless in this direction).
+func (h Float16) Float32() float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	frac := uint32(h & 0x3FF)
+
+	switch {
+	case exp == 0x1F: // Inf or NaN
+		if frac != 0 {
+			return math.Float32frombits(sign | 0x7FC00000 | frac<<13)
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | frac<<13)
+	}
+	return math.Float32frombits(sign | (exp+127-15)<<23 | frac<<13)
+}
+
+// IsInf reports whether h is +Inf or -Inf.
+func (h Float16) IsInf() bool { return h&0x7FFF == 0x7C00 }
+
+// IsNaN reports whether h is a NaN.
+func (h Float16) IsNaN() bool { return h&0x7C00 == 0x7C00 && h&0x3FF != 0 }
+
+// IsFinite reports whether h is neither Inf nor NaN.
+func (h Float16) IsFinite() bool { return h&0x7C00 != 0x7C00 }
+
+// Neg returns -h.
+func (h Float16) Neg() Float16 { return h ^ 0x8000 }
+
+// Round rounds a float32 through binary16 and back — how every
+// intermediate value behaves inside an FP16-accumulating GEMM. It is the
+// hot operation of the functional FP16 experiments, so the normal range
+// takes a branch-light bit-manipulation path: rounding a float32 to a
+// 10-bit mantissa is an add-and-mask (with the RNE tie bit taken from bit
+// 13), and a mantissa carry propagates into the exponent for free. Values
+// that are subnormal in binary16 (|f| < 2^-14), zero, Inf or NaN take the
+// exact slow path; results that round to 2^16 or beyond overflow to ±Inf.
+func Round(f float32) float32 {
+	b := math.Float32bits(f)
+	exp := (b >> 23) & 0xFF
+	if exp-113 >= 142 { // binary16-subnormal magnitude, zero, Inf, or NaN
+		return roundSlow(f)
+	}
+	r := (b + 0xFFF + ((b >> 13) & 1)) &^ 0x1FFF
+	if r&0x7FFFFFFF >= 0x47800000 { // |rounded| >= 65536: overflow
+		return math.Float32frombits(b&0x80000000 | 0x7F800000)
+	}
+	return math.Float32frombits(r)
+}
+
+// roundSlow handles the values outside Round's fast range exactly.
+func roundSlow(f float32) float32 { return FromFloat32(f).Float32() }
+
+// Add returns a+b computed in binary16 (operands are treated as exact,
+// the sum is rounded to binary16).
+func Add(a, b Float16) Float16 { return FromFloat32(a.Float32() + b.Float32()) }
+
+// Mul returns a*b rounded to binary16.
+func Mul(a, b Float16) Float16 { return FromFloat32(a.Float32() * b.Float32()) }
+
+// FMA returns a*b+c with the product and the sum each rounded to binary16,
+// matching pre-Volta HGEMM accumulation (no wider accumulator).
+func FMA(a, b, c Float16) Float16 {
+	p := FromFloat32(a.Float32() * b.Float32())
+	return Add(p, c)
+}

@@ -1,0 +1,257 @@
+// Package knn implements the 2-nearest-neighbors feature matching kernels
+// at the heart of the texture-identification system, in all the variants
+// the paper compares (Table 1):
+//
+//   - Baseline: the monolithic OpenCV-CUDA brute-force kernel.
+//   - Garcia: the cuBLAS formulation of Garcia et al. [9] — Algorithm 1
+//     with a modified insertion sort.
+//   - Eq1Top2: the paper's optimized Algorithm 1 — the sort is replaced by
+//     a register-resident single-pass top-2 scan (81.9% less sort time).
+//   - RootSIFT: Algorithm 2 — with unit-norm RootSIFT features the
+//     N_R/N_Q terms vanish and the pipeline collapses to GEMM + fused
+//     top-2/sqrt, which is also the batched production path.
+//
+// Each variant both *executes* (computes real distances on real features)
+// and *costs* (enqueues the corresponding operations on a gpusim stream),
+// so accuracy experiments and timing experiments share one code path.
+// Phantom blocks carry dimensions but no data, letting paper-scale timing
+// sweeps run without petaflops of host arithmetic.
+package knn
+
+import (
+	"fmt"
+
+	"texid/internal/blas"
+	"texid/internal/gpusim"
+)
+
+// Algorithm selects the matching kernel variant.
+type Algorithm int
+
+const (
+	// Baseline is the native OpenCV-CUDA brute-force implementation.
+	Baseline Algorithm = iota
+	// Garcia is Algorithm 1 with the reference insertion sort [9].
+	Garcia
+	// Eq1Top2 is Algorithm 1 with the single-pass top-2 scan (ours).
+	Eq1Top2
+	// RootSIFT is Algorithm 2: unit-norm features, GEMM + fused
+	// top-2/sqrt (ours, the production path).
+	RootSIFT
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Baseline:
+		return "cuda-opencv"
+	case Garcia:
+		return "cublas-garcia"
+	case Eq1Top2:
+		return "cublas-top2"
+	case RootSIFT:
+		return "cublas-rootsift"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures a match invocation.
+type Options struct {
+	Algorithm Algorithm
+	Precision gpusim.Precision
+	// Scale is the FP16 scale factor applied to features before
+	// conversion (Table 2); ignored for FP32. Zero means 1.
+	Scale float32
+	// Accum is the FP16 GEMM accumulator mode (FP16 on P100, FP32 with
+	// tensor cores).
+	Accum blas.AccumMode
+}
+
+// Pair2NN is the 2-NN result of one query image against one reference
+// image: for every query feature, the distance to its nearest and
+// second-nearest reference feature, plus the nearest feature's index for
+// geometric verification. Distances are true (unsquared) Euclidean
+// distances; an overflowed FP16 distance surfaces as +Inf.
+type Pair2NN struct {
+	RefID   int
+	Best    []float32
+	Second  []float32
+	BestIdx []int32
+}
+
+// RefBatch is a batch of B reference feature matrices resident in device
+// memory, concatenated column-wise (Fig. 3) so one GEMM serves the whole
+// batch. FP16 batches also keep the conversion overflow count.
+type RefBatch struct {
+	dev      *gpusim.Device
+	IDs      []int
+	M, D     int
+	F32      *blas.Matrix     // d×(B·M); nil for FP16-only or phantom batches
+	F16      *blas.HalfMatrix // nil for FP32 or phantom batches
+	Norms    []float32        // squared L2 norms of the original features
+	Scale    float32
+	Overflow int
+	bytes    int64
+	freed    bool
+	phantom  bool
+}
+
+// Count returns the number of reference images in the batch.
+func (rb *RefBatch) Count() int { return len(rb.IDs) }
+
+// Bytes returns the logical size of the batch — the device memory it holds
+// when resident, and the transfer size when it must be streamed from the
+// host after demotion.
+func (rb *RefBatch) Bytes() int64 { return rb.bytes }
+
+// Phantom reports whether the batch carries timing dimensions only.
+func (rb *RefBatch) Phantom() bool { return rb.phantom }
+
+// refBatchBytes returns the device footprint of a batch: the feature
+// matrix plus, for the Algorithm-1 paths, the FP32 norm vectors. RootSIFT
+// batches need no norms (withNorms=false), one source of the capacity win.
+func refBatchBytes(count, m, d int, prec gpusim.Precision, withNorms bool) int64 {
+	b := int64(count) * int64(m) * int64(d) * int64(prec.ElemBytes())
+	if withNorms {
+		b += int64(count) * int64(m) * 4
+	}
+	return b
+}
+
+// NewRefBatch uploads reference feature matrices (each d×m with the same m)
+// into device memory. ids give each matrix its stable identity. For FP16,
+// features are scaled by scale before conversion.
+func NewRefBatch(dev *gpusim.Device, ids []int, mats []*blas.Matrix, prec gpusim.Precision, scale float32, withNorms bool) (*RefBatch, error) {
+	if len(ids) != len(mats) {
+		return nil, fmt.Errorf("knn: %d ids for %d matrices", len(ids), len(mats))
+	}
+	if len(mats) == 0 {
+		return nil, fmt.Errorf("knn: empty reference batch")
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	d := mats[0].Rows
+	m := mats[0].Cols
+	for i, mat := range mats {
+		if mat.Rows != d || mat.Cols != m {
+			return nil, fmt.Errorf("knn: reference %d is %dx%d, want %dx%d", i, mat.Rows, mat.Cols, d, m)
+		}
+	}
+	concat := blas.ConcatColumns(mats...)
+	rb := &RefBatch{
+		dev:   dev,
+		IDs:   append([]int(nil), ids...),
+		M:     m,
+		D:     d,
+		Scale: scale,
+		bytes: refBatchBytes(len(mats), m, d, prec, withNorms),
+	}
+	if withNorms {
+		rb.Norms = blas.SquaredNorms(concat)
+	}
+	if prec == gpusim.FP16 {
+		rb.F16, rb.Overflow = blas.HalfFromMatrix(concat, scale)
+	} else {
+		rb.F32 = concat
+	}
+	if err := dev.Alloc(rb.bytes); err != nil {
+		return nil, err
+	}
+	return rb, nil
+}
+
+// PhantomRefBatch reserves device memory for a batch of the given
+// dimensions without any payload, for paper-scale timing experiments.
+func PhantomRefBatch(dev *gpusim.Device, count, m, d int, prec gpusim.Precision, withNorms bool) (*RefBatch, error) {
+	rb := &RefBatch{
+		dev:     dev,
+		IDs:     make([]int, count),
+		M:       m,
+		D:       d,
+		Scale:   1,
+		bytes:   refBatchBytes(count, m, d, prec, withNorms),
+		phantom: true,
+	}
+	for i := range rb.IDs {
+		rb.IDs[i] = i
+	}
+	if err := dev.Alloc(rb.bytes); err != nil {
+		return nil, err
+	}
+	return rb, nil
+}
+
+// Free releases the batch's device memory. The batch data (if any) stays in
+// host memory and Bytes() keeps reporting the logical size, so a demoted
+// batch can still be streamed back to the device.
+func (rb *RefBatch) Free() {
+	if !rb.freed {
+		rb.dev.Free(rb.bytes)
+		rb.freed = true
+	}
+}
+
+// Query is a query feature matrix staged in device memory, kept in both
+// precisions so one upload serves every algorithm variant.
+type Query struct {
+	dev      *gpusim.Device
+	N, D     int
+	F32      *blas.Matrix
+	F16      *blas.HalfMatrix
+	Norms    []float32
+	Scale    float32
+	Overflow int
+	bytes    int64
+	phantom  bool
+}
+
+// NewQuery uploads a query feature matrix (d×n).
+func NewQuery(dev *gpusim.Device, mat *blas.Matrix, scale float32) (*Query, error) {
+	if scale == 0 {
+		scale = 1
+	}
+	q := &Query{
+		dev:   dev,
+		N:     mat.Cols,
+		D:     mat.Rows,
+		F32:   mat,
+		Norms: blas.SquaredNorms(mat),
+		Scale: scale,
+		bytes: int64(mat.Cols) * int64(mat.Rows) * 6, // fp32 + fp16 copies
+	}
+	q.F16, q.Overflow = blas.HalfFromMatrix(mat, scale)
+	if err := dev.Alloc(q.bytes); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// PhantomQuery reserves query dimensions without payload.
+func PhantomQuery(dev *gpusim.Device, n, d int) (*Query, error) {
+	q := &Query{dev: dev, N: n, D: d, Scale: 1, bytes: int64(n) * int64(d) * 6, phantom: true}
+	if err := dev.Alloc(q.bytes); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Free releases the query's device memory.
+func (q *Query) Free() {
+	if q.bytes > 0 {
+		q.dev.Free(q.bytes)
+		q.bytes = 0
+	}
+}
+
+// resultBytes is the D2H payload per reference item: the 2×n distance
+// sub-matrix plus the 2×n int32 index matrix (Algorithm 1 step 8).
+func resultBytes(n int, prec gpusim.Precision) int64 {
+	return int64(2*n*prec.ElemBytes()) + int64(2*n*4)
+}
+
+// workspaceBytes returns the per-invocation device workspace: the
+// (B·m)×n distance matrix in the working precision. The engine charges
+// this per stream (Table 6's "extra GPU memory" column).
+func workspaceBytes(batch, m, n int, prec gpusim.Precision) int64 {
+	return int64(batch) * int64(m) * int64(n) * int64(prec.ElemBytes())
+}

@@ -1,0 +1,374 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"texid/internal/blas"
+	"texid/internal/gpusim"
+	"texid/internal/half"
+	"texid/internal/sift"
+)
+
+func randomFeatures(rng *rand.Rand, d, n int, norm float64) *blas.Matrix {
+	m := blas.NewMatrix(d, n)
+	for j := 0; j < n; j++ {
+		col := m.Col(j)
+		var s float64
+		for i := range col {
+			col[i] = rng.Float32()
+			s += float64(col[i]) * float64(col[i])
+		}
+		f := float32(norm / math.Sqrt(s))
+		for i := range col {
+			col[i] *= f
+		}
+	}
+	return m
+}
+
+// rootSIFTFeatures returns unit-norm non-negative features (the RootSIFT
+// invariant).
+func rootSIFTFeatures(rng *rand.Rand, d, n int) *blas.Matrix {
+	m := randomFeatures(rng, d, n, 512)
+	sift.ApplyRootSIFT(m)
+	return m
+}
+
+func newTestDevice() *gpusim.Device { return gpusim.NewDevice(gpusim.TeslaP100()) }
+
+func TestAllAlgorithmsAgreeWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, m, n := 32, 40, 24
+	dev := newTestDevice()
+	stream := dev.NewStream()
+
+	refs := []*blas.Matrix{rootSIFTFeatures(rng, d, m), rootSIFTFeatures(rng, d, m)}
+	qm := rootSIFTFeatures(rng, d, n)
+	q, err := NewQuery(dev, qm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracle := []Pair2NN{bruteForce2NN(0, refs[0], qm), bruteForce2NN(1, refs[1], qm)}
+
+	for _, algo := range []Algorithm{Baseline, Garcia, Eq1Top2, RootSIFT} {
+		rb, err := NewRefBatch(dev, []int{0, 1}, refs, gpusim.FP32, 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MatchBatch(stream, rb, q, Options{Algorithm: algo, Precision: gpusim.FP32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("%v: %d results", algo, len(got))
+		}
+		for b := range got {
+			for j := 0; j < n; j++ {
+				if got[b].BestIdx[j] != oracle[b].BestIdx[j] {
+					t.Errorf("%v ref %d query %d: best idx %d, want %d",
+						algo, b, j, got[b].BestIdx[j], oracle[b].BestIdx[j])
+				}
+				if diff := math.Abs(float64(got[b].Best[j] - oracle[b].Best[j])); diff > 2e-3 {
+					t.Errorf("%v ref %d query %d: best %g, want %g",
+						algo, b, j, got[b].Best[j], oracle[b].Best[j])
+				}
+				if diff := math.Abs(float64(got[b].Second[j] - oracle[b].Second[j])); diff > 2e-3 {
+					t.Errorf("%v ref %d query %d: second %g, want %g",
+						algo, b, j, got[b].Second[j], oracle[b].Second[j])
+				}
+			}
+		}
+		rb.Free()
+	}
+}
+
+func TestFP16MatchesFP32Closely(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, m, n := 128, 64, 32
+	dev := newTestDevice()
+	stream := dev.NewStream()
+
+	refs := []*blas.Matrix{rootSIFTFeatures(rng, d, m)}
+	qm := rootSIFTFeatures(rng, d, n)
+	q, _ := NewQuery(dev, qm, 1)
+	oracle := bruteForce2NN(0, refs[0], qm)
+
+	rb, err := NewRefBatch(dev, []int{0}, refs, gpusim.FP16, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Overflow != 0 {
+		t.Fatalf("RootSIFT features overflowed FP16: %d", rb.Overflow)
+	}
+	got, err := MatchBatch(stream, rb, q, Options{
+		Algorithm: RootSIFT, Precision: gpusim.FP16, Scale: 1, Accum: blas.AccumFP16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for j := 0; j < n; j++ {
+		if got[0].BestIdx[j] == oracle.BestIdx[j] {
+			agree++
+		}
+		if diff := math.Abs(float64(got[0].Best[j] - oracle.Best[j])); diff > 0.05 {
+			t.Errorf("query %d: FP16 best %g vs FP32 %g", j, got[0].Best[j], oracle.Best[j])
+		}
+	}
+	if agree < n*9/10 {
+		t.Fatalf("FP16 nearest-neighbor agreement only %d/%d", agree, n)
+	}
+}
+
+func TestFP16ScaledEq1Matches(t *testing.T) {
+	// Algorithm 1 in FP16 with the production scale factor 2^-7 on
+	// norm-512 SIFT-convention features must agree with brute force.
+	rng := rand.New(rand.NewSource(3))
+	d, m, n := 128, 48, 24
+	dev := newTestDevice()
+	stream := dev.NewStream()
+
+	refs := []*blas.Matrix{randomFeatures(rng, d, m, 512)}
+	qm := randomFeatures(rng, d, n, 512)
+	scale := half.PowerOfTwoScale(-7)
+	q, _ := NewQuery(dev, qm, scale)
+	oracle := bruteForce2NN(0, refs[0], qm)
+
+	rb, err := NewRefBatch(dev, []int{0}, refs, gpusim.FP16, scale, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MatchBatch(stream, rb, q, Options{
+		Algorithm: Eq1Top2, Precision: gpusim.FP16, Scale: scale, Accum: blas.AccumFP16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		rel := math.Abs(float64(got[0].Best[j]-oracle.Best[j])) / float64(oracle.Best[j])
+		if rel > 0.02 {
+			t.Errorf("query %d: scaled FP16 distance off by %.2f%%", j, rel*100)
+		}
+	}
+}
+
+func TestUnscaledSIFTOverflows(t *testing.T) {
+	// Norm-512 features without scaling overflow the FP16 accumulator —
+	// Table 2's "overflow" rows.
+	rng := rand.New(rand.NewSource(4))
+	d, m, n := 128, 16, 8
+	dev := newTestDevice()
+	stream := dev.NewStream()
+
+	refs := []*blas.Matrix{randomFeatures(rng, d, m, 512)}
+	qm := randomFeatures(rng, d, n, 512)
+	q, _ := NewQuery(dev, qm, 1)
+	rb, _ := NewRefBatch(dev, []int{0}, refs, gpusim.FP16, 1, true)
+	got, err := MatchBatch(stream, rb, q, Options{
+		Algorithm: Eq1Top2, Precision: gpusim.FP16, Scale: 1, Accum: blas.AccumFP16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overflowed := false
+	for j := 0; j < n; j++ {
+		if math.IsInf(float64(got[0].Best[j]), 1) {
+			overflowed = true
+		}
+	}
+	if !overflowed {
+		t.Fatal("expected FP16 accumulation overflow with unscaled norm-512 features")
+	}
+}
+
+func TestBatchEqualsSequential(t *testing.T) {
+	// Batching is a pure throughput optimization: per-reference results
+	// must be identical to one-at-a-time matching.
+	rng := rand.New(rand.NewSource(5))
+	d, m, n, B := 16, 20, 12, 5
+	dev := newTestDevice()
+	stream := dev.NewStream()
+
+	refs := make([]*blas.Matrix, B)
+	ids := make([]int, B)
+	for i := range refs {
+		refs[i] = rootSIFTFeatures(rng, d, m)
+		ids[i] = 100 + i
+	}
+	qm := rootSIFTFeatures(rng, d, n)
+	q, _ := NewQuery(dev, qm, 1)
+
+	batched, _ := NewRefBatch(dev, ids, refs, gpusim.FP32, 1, false)
+	got, err := MatchBatch(stream, batched, q, Options{Algorithm: RootSIFT, Precision: gpusim.FP32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < B; i++ {
+		single, _ := NewRefBatch(dev, ids[i:i+1], refs[i:i+1], gpusim.FP32, 1, false)
+		want, err := MatchBatch(stream, single, q, Options{Algorithm: RootSIFT, Precision: gpusim.FP32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].RefID != ids[i] {
+			t.Fatalf("batch result %d has id %d", i, got[i].RefID)
+		}
+		for j := 0; j < n; j++ {
+			if got[i].Best[j] != want[0].Best[j] || got[i].BestIdx[j] != want[0].BestIdx[j] {
+				t.Fatalf("batch/sequential mismatch at ref %d query %d", i, j)
+			}
+		}
+		single.Free()
+	}
+}
+
+func TestPhantomTimingOnly(t *testing.T) {
+	dev := newTestDevice()
+	stream := dev.NewStream()
+	rb, err := PhantomRefBatch(dev, 1024, 768, 128, gpusim.FP16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := PhantomQuery(dev, 768, 128)
+	res, err := MatchBatch(stream, rb, q, Options{Algorithm: RootSIFT, Precision: gpusim.FP16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1024 || res[0].Best != nil {
+		t.Fatalf("phantom results should be empty shells, got %d with data=%v", len(res), res[0].Best != nil)
+	}
+	elapsed := dev.Synchronize()
+	// Per-image time should be near Table 3's 21.96 us.
+	per := elapsed / 1024
+	if per < 15 || per > 30 {
+		t.Fatalf("phantom batched per-image time %.2f us, expected ~22", per)
+	}
+}
+
+func TestDeviceMemoryChargedAndFreed(t *testing.T) {
+	dev := newTestDevice()
+	base := dev.Allocated()
+	rb, err := PhantomRefBatch(dev, 10000, 768, 128, gpusim.FP16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(10000) * (768*128*2 + 768*4)
+	if dev.Allocated()-base != want {
+		t.Fatalf("allocated %d, want %d", dev.Allocated()-base, want)
+	}
+	// Table 1's memory column: ~2307 MB including runtime overhead.
+	totalMB := float64(dev.Allocated()) / (1 << 20)
+	if totalMB < 2100 || totalMB > 2500 {
+		t.Fatalf("10k FP16 refs + overhead = %.0f MB, paper ~2307", totalMB)
+	}
+	rb.Free()
+	if dev.Allocated() != base {
+		t.Fatal("Free did not release memory")
+	}
+}
+
+func TestRefBatchValidation(t *testing.T) {
+	dev := newTestDevice()
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewRefBatch(dev, []int{1}, nil, gpusim.FP32, 1, true); err == nil {
+		t.Fatal("want error for id/matrix count mismatch")
+	}
+	if _, err := NewRefBatch(dev, nil, nil, gpusim.FP32, 1, true); err == nil {
+		t.Fatal("want error for empty batch")
+	}
+	mats := []*blas.Matrix{randomFeatures(rng, 8, 4, 1), randomFeatures(rng, 8, 5, 1)}
+	if _, err := NewRefBatch(dev, []int{0, 1}, mats, gpusim.FP32, 1, true); err == nil {
+		t.Fatal("want error for ragged feature counts")
+	}
+}
+
+func TestDimensionMismatchRejected(t *testing.T) {
+	dev := newTestDevice()
+	stream := dev.NewStream()
+	rng := rand.New(rand.NewSource(7))
+	rb, _ := NewRefBatch(dev, []int{0}, []*blas.Matrix{randomFeatures(rng, 16, 4, 1)}, gpusim.FP32, 1, true)
+	q, _ := NewQuery(dev, randomFeatures(rng, 32, 4, 1), 1)
+	if _, err := MatchBatch(stream, rb, q, Options{Algorithm: Eq1Top2}); err == nil {
+		t.Fatal("want dimension mismatch error")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for algo, want := range map[Algorithm]string{
+		Baseline: "cuda-opencv", Garcia: "cublas-garcia",
+		Eq1Top2: "cublas-top2", RootSIFT: "cublas-rootsift",
+	} {
+		if algo.String() != want {
+			t.Errorf("%d.String() = %q", algo, algo.String())
+		}
+	}
+}
+
+func TestPropertyTop2SelectionMatchesSortOracle(t *testing.T) {
+	// The register-resident top-2 selection must agree with a full sort
+	// for arbitrary inputs (including duplicates and negatives).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(30)
+		cols := 1 + rng.Intn(8)
+		C := blas.NewMatrix(rows, cols)
+		for i := range C.Data {
+			C.Data[i] = float32(rng.NormFloat64())
+			if rng.Intn(10) == 0 {
+				C.Data[i] = 0 // force duplicates
+			}
+		}
+		got := selectTop2Block(7, C, 0, rows)
+		for j := 0; j < cols; j++ {
+			col := append([]float32(nil), C.Col(j)...)
+			sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+			if got.Best[j] != col[0] || got.Second[j] != col[1] {
+				return false
+			}
+			// BestIdx points at a minimal element.
+			if C.At(int(got.BestIdx[j]), j) != col[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBlockOffsets(t *testing.T) {
+	// Per-block selection over a concatenated matrix equals selection over
+	// the individual blocks, with indices relative to the block.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(6)
+		B := 1 + rng.Intn(4)
+		C := blas.NewMatrix(B*m, 2)
+		for i := range C.Data {
+			C.Data[i] = rng.Float32()
+		}
+		for b := 0; b < B; b++ {
+			whole := selectTop2Block(b, C, b*m, (b+1)*m)
+			sub := C.Slice(0, C.Cols) // same matrix; compare index semantics
+			_ = sub
+			for j := 0; j < 2; j++ {
+				idx := int(whole.BestIdx[j])
+				if idx < 0 || idx >= m {
+					return false
+				}
+				if C.At(b*m+idx, j) != whole.Best[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+package knn
+
+import (
+	"fmt"
+	"math"
+
+	"texid/internal/blas"
+	"texid/internal/gpusim"
+)
+
+// MatchBatch runs the selected 2-NN variant for every reference image in
+// the batch against one query, enqueuing the corresponding operations on
+// stream and returning per-reference results. Phantom inputs produce
+// results with nil slices (timing only).
+func MatchBatch(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pair2NN, error) {
+	if rb.D != q.D {
+		return nil, fmt.Errorf("knn: dimension mismatch: refs d=%d, query d=%d", rb.D, q.D)
+	}
+	switch opts.Algorithm {
+	case Baseline:
+		return matchBaseline(stream, rb, q)
+	case Garcia, Eq1Top2:
+		return matchEq1(stream, rb, q, opts)
+	case RootSIFT:
+		return matchRootSIFT(stream, rb, q, opts)
+	}
+	return nil, fmt.Errorf("knn: unknown algorithm %v", opts.Algorithm)
+}
+
+// matchBaseline models the OpenCV-CUDA path: one monolithic brute-force
+// kernel per reference image (no batching, no GEMM decomposition).
+func matchBaseline(stream *gpusim.Stream, rb *RefBatch, q *Query) ([]Pair2NN, error) {
+	results := make([]Pair2NN, rb.Count())
+	for b := 0; b < rb.Count(); b++ {
+		b := b
+		stream.BaselineMatch(rb.M, q.N, rb.D, func() {
+			if rb.phantom || q.phantom {
+				results[b] = Pair2NN{RefID: rb.IDs[b]}
+				return
+			}
+			R := rb.F32.Slice(b*rb.M, (b+1)*rb.M)
+			results[b] = bruteForce2NN(rb.IDs[b], R, q.F32)
+		})
+		stream.CopyD2H(resultBytes(q.N, gpusim.FP32), false, nil)
+		stream.HostPost(1, gpusim.FP32, nil)
+	}
+	return results, nil
+}
+
+// matchEq1 runs Algorithm 1: GEMM, add N_R, sort (insertion or top-2
+// scan), add N_Q + sqrt, D2H. Used by both the Garcia reference variant
+// and the paper's top-2 optimization.
+func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pair2NN, error) {
+	B := rb.Count()
+	m, n, d := rb.M, q.N, rb.D
+	prec := opts.Precision
+	if prec == gpusim.FP16 && rb.F16 == nil && !rb.phantom {
+		return nil, fmt.Errorf("knn: FP16 match on an FP32 reference batch")
+	}
+	if rb.Norms == nil && !rb.phantom {
+		return nil, fmt.Errorf("knn: Algorithm 1 requires reference norms (withNorms=true)")
+	}
+
+	// The functional payload computes the full similarity matrix and the
+	// per-item top-2 in one closure chain; the timing model charges each
+	// pipeline step separately.
+	var C *blas.Matrix
+	results := make([]Pair2NN, B)
+
+	// Steps 1-3: norms (amortized/offline for refs, tiny for query) + GEMM.
+	stream.Gemm(B*m, n, d, prec, func() {
+		if rb.phantom || q.phantom {
+			return
+		}
+		C = blas.NewMatrix(B*m, n)
+		if prec == gpusim.FP16 {
+			blas.HGemmTN(-2, rb.F16, q.F16, opts.Accum, C)
+			// Undo the feature scale: A holds -2·s²·RᵀQ.
+			inv := 1 / (rb.Scale * q.Scale)
+			for i := range C.Data {
+				C.Data[i] *= inv
+			}
+		} else {
+			blas.GemmTN(-2, rb.F32, q.F32, 0, C)
+		}
+	})
+
+	// Step 4: add N_R to every row (in-place elementwise pass over C).
+	stream.Elementwise("addNR", 2*int64(B)*int64(m)*int64(n)*int64(prec.ElemBytes()), func() {
+		if C == nil {
+			return
+		}
+		blas.AddRowVector(C, rb.Norms)
+	})
+
+	// Step 5: per-column top-2 selection within each reference block.
+	sel := func() {
+		if C == nil {
+			for b := 0; b < B; b++ {
+				results[b] = Pair2NN{RefID: rb.IDs[b]}
+			}
+			return
+		}
+		for b := 0; b < B; b++ {
+			results[b] = selectTop2Block(rb.IDs[b], C, b*m, (b+1)*m)
+		}
+	}
+	if opts.Algorithm == Garcia {
+		stream.InsertionSort(m, n, B, prec, sel)
+	} else {
+		stream.Top2Scan(m, n, B, prec, sel)
+	}
+
+	// Steps 6-7: add N_Q to the two survivors and square-root (fused).
+	stream.Elementwise("addNQ-sqrt", 2*int64(B)*2*int64(n)*int64(prec.ElemBytes()), func() {
+		if C == nil {
+			return
+		}
+		for b := 0; b < B; b++ {
+			finishDistances(&results[b], q.Norms)
+		}
+	})
+
+	// Step 8: move the 2×n result and indices to host, then post-process.
+	stream.CopyD2H(int64(B)*resultBytes(n, prec), false, nil)
+	stream.HostPost(B, prec, nil)
+	return results, nil
+}
+
+// matchRootSIFT runs Algorithm 2: with unit-norm RootSIFT features,
+// ρ² = 2 + A where A = -2·RᵀQ, so the pipeline is GEMM plus one fused
+// top-2/sqrt kernel.
+func matchRootSIFT(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pair2NN, error) {
+	B := rb.Count()
+	m, n, d := rb.M, q.N, rb.D
+	prec := opts.Precision
+
+	var C *blas.Matrix
+	results := make([]Pair2NN, B)
+
+	stream.Gemm(B*m, n, d, prec, func() {
+		if rb.phantom || q.phantom {
+			return
+		}
+		C = blas.NewMatrix(B*m, n)
+		if prec == gpusim.FP16 {
+			blas.HGemmTN(-2, rb.F16, q.F16, opts.Accum, C)
+			inv := 1 / (rb.Scale * q.Scale)
+			for i := range C.Data {
+				C.Data[i] *= inv
+			}
+		} else {
+			blas.GemmTN(-2, rb.F32, q.F32, 0, C)
+		}
+	})
+
+	// Fused steps 2-3: top-2 per column per block, then sqrt(2 + a) in
+	// registers. Same device cost as the plain top-2 scan.
+	stream.Top2Scan(m, n, B, prec, func() {
+		if C == nil {
+			for b := 0; b < B; b++ {
+				results[b] = Pair2NN{RefID: rb.IDs[b]}
+			}
+			return
+		}
+		for b := 0; b < B; b++ {
+			r := selectTop2Block(rb.IDs[b], C, b*m, (b+1)*m)
+			for j := range r.Best {
+				r.Best[j] = sqrt32(2 + r.Best[j])
+				r.Second[j] = sqrt32(2 + r.Second[j])
+			}
+			results[b] = r
+		}
+	})
+
+	stream.CopyD2H(int64(B)*resultBytes(n, prec), false, nil)
+	stream.HostPost(B, prec, nil)
+	return results, nil
+}
+
+// bruteForce2NN is the functional baseline: direct O(d·m·n) squared
+// distances plus scan. It is also the oracle the tests compare against.
+func bruteForce2NN(refID int, R, Q *blas.Matrix) Pair2NN {
+	n := Q.Cols
+	r := Pair2NN{
+		RefID:   refID,
+		Best:    make([]float32, n),
+		Second:  make([]float32, n),
+		BestIdx: make([]int32, n),
+	}
+	for j := 0; j < n; j++ {
+		qc := Q.Col(j)
+		best, second := float32(math.MaxFloat32), float32(math.MaxFloat32)
+		bestIdx := int32(-1)
+		for i := 0; i < R.Cols; i++ {
+			rc := R.Col(i)
+			var d float32
+			for l := range qc {
+				diff := rc[l] - qc[l]
+				d += diff * diff
+			}
+			if d < best {
+				second = best
+				best = d
+				bestIdx = int32(i)
+			} else if d < second {
+				second = d
+			}
+		}
+		r.Best[j] = sqrt32(best)
+		r.Second[j] = sqrt32(second)
+		r.BestIdx[j] = bestIdx
+	}
+	return r
+}
+
+// selectTop2Block scans rows [lo, hi) of every column of C, keeping the
+// two smallest values in registers — the single-pass selection that
+// replaces the insertion sort. Values are returned as squared distances
+// (callers apply N_Q/sqrt or the RootSIFT 2+A epilogue).
+func selectTop2Block(refID int, C *blas.Matrix, lo, hi int) Pair2NN {
+	n := C.Cols
+	r := Pair2NN{
+		RefID:   refID,
+		Best:    make([]float32, n),
+		Second:  make([]float32, n),
+		BestIdx: make([]int32, n),
+	}
+	for j := 0; j < n; j++ {
+		col := C.Col(j)
+		best, second := float32(math.MaxFloat32), float32(math.MaxFloat32)
+		bestIdx := int32(-1)
+		for i := lo; i < hi; i++ {
+			v := col[i]
+			if v < best {
+				second = best
+				best = v
+				bestIdx = int32(i - lo)
+			} else if v < second {
+				second = v
+			}
+		}
+		r.Best[j] = best
+		r.Second[j] = second
+		r.BestIdx[j] = bestIdx
+	}
+	return r
+}
+
+// finishDistances applies Algorithm 1 steps 6-7 to one result: add N_Q,
+// clamp tiny negatives from cancellation, square-root. FP16 overflow
+// (±Inf) propagates to +Inf distances.
+func finishDistances(r *Pair2NN, qNorms []float32) {
+	for j := range r.Best {
+		r.Best[j] = sqrt32(r.Best[j] + qNorms[j])
+		r.Second[j] = sqrt32(r.Second[j] + qNorms[j])
+	}
+}
+
+// sqrt32 is float32 sqrt with negative-cancellation clamping; -Inf (an
+// overflowed FP16 −2RᵀQ term) maps to +Inf distance so overflow is
+// detectable downstream.
+func sqrt32(v float32) float32 {
+	if math.IsInf(float64(v), 0) {
+		return float32(math.Inf(1))
+	}
+	if v < 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(v)))
+}
+
+// WorkspaceBytes exposes the per-invocation device workspace so the engine
+// can charge per-stream scratch memory (Table 6's extra-GPU-memory
+// column): the (B·m)×n distance matrix.
+func WorkspaceBytes(batch, m, n int, prec gpusim.Precision) int64 {
+	return workspaceBytes(batch, m, n, prec)
+}

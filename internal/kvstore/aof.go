@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Append-only-file persistence (Redis's AOF, simplified): every mutation is
+// logged as a RESP command array and replayed on open, so a restarted
+// store recovers its contents. The log format IS the wire protocol, which
+// keeps one parser for both.
+
+// aofLog serializes mutations to disk.
+type aofLog struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// append logs one command and flushes it (durability over throughput; the
+// store's write volume is feature enrollments, not a hot path).
+func (a *aofLog) append(args ...[]byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	writeArrayHeader(a.w, len(args))
+	for _, arg := range args {
+		writeBulk(a.w, arg)
+	}
+	return a.w.Flush()
+}
+
+func (a *aofLog) close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.w.Flush(); err != nil {
+		a.f.Close()
+		return err
+	}
+	return a.f.Close()
+}
+
+// OpenAOF opens (or creates) an append-only-file-backed store at path:
+// existing log records are replayed into a fresh store, and every
+// subsequent mutation is appended. Close the store with CloseAOF to flush.
+func OpenAOF(path string) (*Store, error) {
+	s := NewStore()
+
+	// Replay phase (no logging while replaying).
+	if f, err := os.Open(path); err == nil {
+		r := bufio.NewReader(f)
+		for {
+			// EOF before a record starts is a clean end; EOF (or anything
+			// else) mid-record means a truncated/corrupt log.
+			if _, err := r.Peek(1); err == io.EOF {
+				break
+			}
+			args, err := readCommand(r)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("kvstore: corrupt AOF %s: %w", path, err)
+			}
+			if err := s.replay(args); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("kvstore: replaying AOF %s: %w", path, err)
+			}
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.aof = &aofLog{f: f, w: bufio.NewWriter(f)}
+	return s, nil
+}
+
+// CloseAOF flushes and closes the store's log (no-op for in-memory stores).
+func (s *Store) CloseAOF() error {
+	if s.aof == nil {
+		return nil
+	}
+	a := s.aof
+	s.aof = nil
+	return a.close()
+}
+
+// replay applies one logged mutation.
+func (s *Store) replay(args [][]byte) error {
+	if len(args) == 0 {
+		return fmt.Errorf("empty record")
+	}
+	cmd := string(args[0])
+	switch cmd {
+	case "SET":
+		if len(args) != 3 {
+			return fmt.Errorf("bad SET record")
+		}
+		s.Set(string(args[1]), args[2])
+	case "DEL":
+		keys := make([]string, len(args)-1)
+		for i := range keys {
+			keys[i] = string(args[i+1])
+		}
+		s.Del(keys...)
+	case "HSET":
+		if len(args) != 4 {
+			return fmt.Errorf("bad HSET record")
+		}
+		s.HSet(string(args[1]), string(args[2]), args[3])
+	case "HDEL":
+		if len(args) < 3 {
+			return fmt.Errorf("bad HDEL record")
+		}
+		fields := make([]string, len(args)-2)
+		for i := range fields {
+			fields[i] = string(args[i+2])
+		}
+		s.HDel(string(args[1]), fields...)
+	case "FLUSHALL":
+		s.FlushAll()
+	default:
+		return fmt.Errorf("unknown record %q", cmd)
+	}
+	return nil
+}
+
+// log appends a mutation record when AOF is enabled.
+func (s *Store) log(args ...[]byte) {
+	if s.aof != nil {
+		// Logging failures are surfaced loudly: losing durability silently
+		// would defeat the point of an AOF.
+		if err := s.aof.append(args...); err != nil {
+			panic(fmt.Sprintf("kvstore: AOF write failed: %v", err))
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a minimal RESP client for the kvstore server (or a real Redis,
+// for the commands this package implements). It serializes requests over a
+// single connection and is safe for concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a RESP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do sends one command and reads its reply.
+func (c *Client) do(args ...[]byte) (reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	writeArrayHeader(c.w, len(args))
+	for _, a := range args {
+		writeBulk(c.w, a)
+	}
+	if err := c.w.Flush(); err != nil {
+		return reply{}, err
+	}
+	rep, err := readReply(c.r)
+	if err != nil {
+		return reply{}, err
+	}
+	if rep.kind == '-' {
+		return reply{}, fmt.Errorf("kvstore: server error: %s", rep.str)
+	}
+	return rep, nil
+}
+
+func bs(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	rep, err := c.do(bs("PING")...)
+	if err != nil {
+		return err
+	}
+	if rep.str != "PONG" {
+		return fmt.Errorf("kvstore: unexpected PING reply %q", rep.str)
+	}
+	return nil
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	_, err := c.do([]byte("SET"), []byte(key), value)
+	return err
+}
+
+// Get fetches key; the bool reports presence.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	rep, err := c.do(bs("GET", key)...)
+	if err != nil {
+		return nil, false, err
+	}
+	return rep.bulk, rep.bulk != nil, nil
+}
+
+// SetNX stores value only when key is absent; true means it was stored.
+func (c *Client) SetNX(key string, value []byte) (bool, error) {
+	rep, err := c.do([]byte("SETNX"), []byte(key), value)
+	return rep.n == 1, err
+}
+
+// MGet fetches several keys; absent keys yield nil entries.
+func (c *Client) MGet(keys ...string) ([][]byte, error) {
+	args := append(bs("MGET"), bs(keys...)...)
+	rep, err := c.do(args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(rep.array))
+	for i, r := range rep.array {
+		out[i] = r.bulk
+	}
+	return out, nil
+}
+
+// Incr increments the integer at key and returns the new value.
+func (c *Client) Incr(key string) (int, error) {
+	rep, err := c.do(bs("INCR", key)...)
+	return rep.n, err
+}
+
+// Del removes keys and returns how many existed.
+func (c *Client) Del(keys ...string) (int, error) {
+	args := append(bs("DEL"), bs(keys...)...)
+	rep, err := c.do(args...)
+	return rep.n, err
+}
+
+// Keys lists keys matching pattern.
+func (c *Client) Keys(pattern string) ([]string, error) {
+	rep, err := c.do(bs("KEYS", pattern)...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rep.array))
+	for i, r := range rep.array {
+		out[i] = string(r.bulk)
+	}
+	return out, nil
+}
+
+// DBSize returns the number of keys.
+func (c *Client) DBSize() (int, error) {
+	rep, err := c.do(bs("DBSIZE")...)
+	return rep.n, err
+}
+
+// FlushAll clears the database.
+func (c *Client) FlushAll() error {
+	_, err := c.do(bs("FLUSHALL")...)
+	return err
+}
+
+// HSet sets a hash field; true means the field was newly created.
+func (c *Client) HSet(key, field string, value []byte) (bool, error) {
+	rep, err := c.do([]byte("HSET"), []byte(key), []byte(field), value)
+	return rep.n == 1, err
+}
+
+// HGet fetches a hash field.
+func (c *Client) HGet(key, field string) ([]byte, bool, error) {
+	rep, err := c.do(bs("HGET", key, field)...)
+	if err != nil {
+		return nil, false, err
+	}
+	return rep.bulk, rep.bulk != nil, nil
+}
+
+// HDel removes hash fields, returning how many existed.
+func (c *Client) HDel(key string, fields ...string) (int, error) {
+	args := append(bs("HDEL", key), bs(fields...)...)
+	rep, err := c.do(args...)
+	return rep.n, err
+}
+
+// HKeys lists a hash's fields.
+func (c *Client) HKeys(key string) ([]string, error) {
+	rep, err := c.do(bs("HKEYS", key)...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rep.array))
+	for i, r := range rep.array {
+		out[i] = string(r.bulk)
+	}
+	return out, nil
+}

@@ -1,0 +1,404 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.Set("a", []byte("1"))
+	v, ok := s.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	if n := s.Del("a", "missing"); n != 1 {
+		t.Fatalf("Del = %d", n)
+	}
+	if s.DBSize() != 0 {
+		t.Fatalf("DBSize = %d", s.DBSize())
+	}
+}
+
+func TestStoreValueIsolation(t *testing.T) {
+	s := NewStore()
+	buf := []byte("abc")
+	s.Set("k", buf)
+	buf[0] = 'X' // caller mutation must not leak in
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatalf("stored value aliased caller buffer: %q", v)
+	}
+	v[0] = 'Y' // returned copy mutation must not leak back
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatalf("returned value aliased store: %q", v2)
+	}
+}
+
+func TestStoreHashes(t *testing.T) {
+	s := NewStore()
+	if !s.HSet("h", "f1", []byte("v1")) {
+		t.Fatal("new field should report true")
+	}
+	if s.HSet("h", "f1", []byte("v2")) {
+		t.Fatal("overwrite should report false")
+	}
+	v, ok := s.HGet("h", "f1")
+	if !ok || string(v) != "v2" {
+		t.Fatalf("HGet = %q, %v", v, ok)
+	}
+	s.HSet("h", "f2", []byte("x"))
+	if got := s.HKeys("h"); len(got) != 2 || got[0] != "f1" || got[1] != "f2" {
+		t.Fatalf("HKeys = %v", got)
+	}
+	if s.HLen("h") != 2 {
+		t.Fatalf("HLen = %d", s.HLen("h"))
+	}
+	if n := s.HDel("h", "f1", "zzz"); n != 1 {
+		t.Fatalf("HDel = %d", n)
+	}
+	// Deleting the last field removes the hash key entirely.
+	s.HDel("h", "f2")
+	if s.Exists("h") != 0 {
+		t.Fatal("empty hash should disappear")
+	}
+}
+
+func TestTypeReplacement(t *testing.T) {
+	s := NewStore()
+	s.Set("k", []byte("str"))
+	s.HSet("k", "f", []byte("hash"))
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("HSET should replace the string key, as in Redis")
+	}
+	s.Set("k", []byte("str2"))
+	if _, ok := s.HGet("k", "f"); ok {
+		t.Fatal("SET should replace the hash key")
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"*", "anything", true},
+		{"tex:*", "tex:42", true},
+		{"tex:*", "other:42", false},
+		{"a*b*c", "aXXbYYc", true},
+		{"a*b*c", "aXXbYY", false},
+		{"exact", "exact", true},
+		{"exact", "exactly", false},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v", c.pattern, c.s, got)
+		}
+	}
+}
+
+func TestServerClientEndToEnd(t *testing.T) {
+	srv, err := Serve(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0, 1, 2, 0xFF, '\r', '\n'}, 1000) // binary-safe
+	if err := c.Set("tex:1", payload); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("tex:1")
+	if err != nil || !ok || !bytes.Equal(v, payload) {
+		t.Fatalf("Get round-trip failed: ok=%v err=%v len=%d", ok, err, len(v))
+	}
+	if _, ok, _ := c.Get("nope"); ok {
+		t.Fatal("missing key reported present")
+	}
+	c.Set("tex:2", []byte("b"))
+	c.HSet("meta", "shard", []byte("3"))
+	keys, err := c.Keys("tex:*")
+	if err != nil || len(keys) != 2 || keys[0] != "tex:1" {
+		t.Fatalf("Keys = %v, %v", keys, err)
+	}
+	if n, _ := c.DBSize(); n != 3 {
+		t.Fatalf("DBSize = %d", n)
+	}
+	if v, ok, _ := c.HGet("meta", "shard"); !ok || string(v) != "3" {
+		t.Fatalf("HGet = %q", v)
+	}
+	if n, _ := c.Del("tex:1", "tex:2"); n != 2 {
+		t.Fatalf("Del = %d", n)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.DBSize(); n != 0 {
+		t.Fatalf("DBSize after flush = %d", n)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv, err := Serve(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k:%d:%d", g, i)
+				if err := c.Set(key, []byte(key)); err != nil {
+					errs <- err
+					return
+				}
+				v, ok, err := c.Get(key)
+				if err != nil || !ok || string(v) != key {
+					errs <- fmt.Errorf("get %s: %q %v %v", key, v, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsUnknownCommand(t *testing.T) {
+	srv, _ := Serve(NewStore(), "127.0.0.1:0")
+	defer srv.Close()
+	c, _ := Dial(srv.Addr())
+	defer c.Close()
+	if _, err := c.do(bs("BOGUS")...); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	// Connection must still work after an error reply.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetNXMGetIncr(t *testing.T) {
+	srv, _ := Serve(NewStore(), "127.0.0.1:0")
+	defer srv.Close()
+	c, _ := Dial(srv.Addr())
+	defer c.Close()
+
+	ok, err := c.SetNX("lock", []byte("a"))
+	if err != nil || !ok {
+		t.Fatalf("first SetNX = %v, %v", ok, err)
+	}
+	ok, _ = c.SetNX("lock", []byte("b"))
+	if ok {
+		t.Fatal("second SetNX should not overwrite")
+	}
+	v, _, _ := c.Get("lock")
+	if string(v) != "a" {
+		t.Fatalf("lock = %q", v)
+	}
+
+	c.Set("k1", []byte("x"))
+	vals, err := c.MGet("k1", "missing", "lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "x" || vals[1] != nil || string(vals[2]) != "a" {
+		t.Fatalf("MGet = %q", vals)
+	}
+
+	for want := 1; want <= 3; want++ {
+		n, err := c.Incr("ctr")
+		if err != nil || n != want {
+			t.Fatalf("Incr = %d, %v (want %d)", n, err, want)
+		}
+	}
+	if _, err := c.Incr("k1"); err == nil {
+		t.Fatal("Incr on non-integer should error")
+	}
+}
+
+func TestStoreIncrTypeReplacement(t *testing.T) {
+	s := NewStore()
+	s.HSet("h", "f", []byte("1"))
+	if _, err := s.Incr("h"); err != nil {
+		t.Fatalf("Incr on hash key: %v", err)
+	}
+	if _, ok := s.HGet("h", "f"); ok {
+		t.Fatal("Incr should replace the hash key")
+	}
+}
+
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	// Protocol robustness: random bytes must never crash the server, and a
+	// fresh connection must still work afterwards.
+	srv, _ := Serve(NewStore(), "127.0.0.1:0")
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1+rng.Intn(200))
+		rng.Read(buf)
+		conn.Write(buf)
+		conn.Write([]byte("\r\n"))
+		conn.Close()
+	}
+	// Mutated valid commands.
+	valid := []byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n")
+	for trial := 0; trial < 100; trial++ {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), valid...)
+		mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+		conn.Write(mut)
+		conn.Close()
+	}
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("server unhealthy after garbage: %v", err)
+	}
+}
+
+func TestAOFPersistence(t *testing.T) {
+	path := t.TempDir() + "/store.aof"
+	s, err := OpenAOF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary := []byte{0, 1, '\r', '\n', 0xFF}
+	s.Set("tex:1", binary)
+	s.Set("tex:2", []byte("b"))
+	s.Del("tex:2")
+	s.HSet("meta", "shard", []byte("3"))
+	s.HSet("meta", "gone", []byte("x"))
+	s.HDel("meta", "gone")
+	s.SetNX("lock", []byte("v"))
+	s.SetNX("lock", []byte("w")) // not stored, not logged
+	s.Incr("ctr")
+	s.Incr("ctr")
+	if err := s.CloseAOF(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenAOF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.CloseAOF()
+	if v, ok := r.Get("tex:1"); !ok || !bytes.Equal(v, binary) {
+		t.Fatalf("tex:1 = %q, %v", v, ok)
+	}
+	if _, ok := r.Get("tex:2"); ok {
+		t.Fatal("deleted key replayed")
+	}
+	if v, ok := r.HGet("meta", "shard"); !ok || string(v) != "3" {
+		t.Fatalf("meta.shard = %q", v)
+	}
+	if _, ok := r.HGet("meta", "gone"); ok {
+		t.Fatal("HDel not replayed")
+	}
+	if v, _ := r.Get("lock"); string(v) != "v" {
+		t.Fatalf("lock = %q, want first SetNX value", v)
+	}
+	if v, _ := r.Get("ctr"); string(v) != "2" {
+		t.Fatalf("ctr = %q, want 2", v)
+	}
+	// Mutations after reopen append to the same log.
+	r.Set("tex:9", []byte("z"))
+	r.CloseAOF()
+	r2, err := OpenAOF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.CloseAOF()
+	if _, ok := r2.Get("tex:9"); !ok {
+		t.Fatal("post-reopen write lost")
+	}
+}
+
+func TestAOFFlushAll(t *testing.T) {
+	path := t.TempDir() + "/store.aof"
+	s, _ := OpenAOF(path)
+	s.Set("a", []byte("1"))
+	s.FlushAll()
+	s.Set("b", []byte("2"))
+	s.CloseAOF()
+	r, err := OpenAOF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.CloseAOF()
+	if r.DBSize() != 1 {
+		t.Fatalf("DBSize = %d, want 1", r.DBSize())
+	}
+	if _, ok := r.Get("a"); ok {
+		t.Fatal("FLUSHALL not replayed")
+	}
+}
+
+func TestAOFCorruptLog(t *testing.T) {
+	path := t.TempDir() + "/store.aof"
+	os.WriteFile(path, []byte("*2\r\n$3\r\nSET\r\n$1"), 0o644)
+	if _, err := OpenAOF(path); err == nil {
+		t.Fatal("corrupt AOF accepted")
+	}
+}
+
+func TestAOFServedOverTCP(t *testing.T) {
+	path := t.TempDir() + "/store.aof"
+	s, _ := OpenAOF(path)
+	srv, err := Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Dial(srv.Addr())
+	c.Set("k", []byte("v"))
+	c.Close()
+	srv.Close()
+	s.CloseAOF()
+	r, _ := OpenAOF(path)
+	defer r.CloseAOF()
+	if v, ok := r.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("TCP-written key not persisted: %q %v", v, ok)
+	}
+}

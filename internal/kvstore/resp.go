@@ -1,0 +1,187 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RESP (REdis Serialization Protocol) framing: requests are arrays of bulk
+// strings; replies are simple strings, errors, integers, bulk strings, or
+// arrays.
+
+var errProtocol = errors.New("kvstore: protocol error")
+
+// maxBulkLen bounds a single bulk string (512 MB, Redis's own limit).
+const maxBulkLen = 512 << 20
+
+// readCommand parses one client command (an array of bulk strings).
+// It also accepts the inline format ("PING\r\n") for debugging with nc.
+func readCommand(r *bufio.Reader) ([][]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, errProtocol
+	}
+	if line[0] != '*' {
+		// Inline command: split on spaces.
+		var args [][]byte
+		for _, f := range splitInline(line) {
+			args = append(args, f)
+		}
+		if len(args) == 0 {
+			return nil, errProtocol
+		}
+		return args, nil
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < 0 || n > 1<<20 {
+		return nil, errProtocol
+	}
+	args := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		arg, err := readBulk(r)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, arg)
+	}
+	return args, nil
+}
+
+func splitInline(line []byte) [][]byte {
+	var out [][]byte
+	start := -1
+	for i, c := range line {
+		if c == ' ' {
+			if start >= 0 {
+				out = append(out, line[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, line[start:])
+	}
+	return out
+}
+
+func readBulk(r *bufio.Reader) ([]byte, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 || line[0] != '$' {
+		return nil, errProtocol
+	}
+	n, err := strconv.Atoi(string(line[1:]))
+	if err != nil || n < -1 || n > maxBulkLen {
+		return nil, errProtocol
+	}
+	if n == -1 {
+		return nil, nil // null bulk
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, errProtocol
+	}
+	return buf[:n], nil
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, errProtocol
+	}
+	return line[:len(line)-2], nil
+}
+
+// Reply writers.
+
+func writeSimple(w *bufio.Writer, s string) { fmt.Fprintf(w, "+%s\r\n", s) }
+func writeError(w *bufio.Writer, s string)  { fmt.Fprintf(w, "-ERR %s\r\n", s) }
+func writeInt(w *bufio.Writer, n int)       { fmt.Fprintf(w, ":%d\r\n", n) }
+
+func writeBulk(w *bufio.Writer, b []byte) {
+	if b == nil {
+		w.WriteString("$-1\r\n")
+		return
+	}
+	fmt.Fprintf(w, "$%d\r\n", len(b))
+	w.Write(b)
+	w.WriteString("\r\n")
+}
+
+func writeArrayHeader(w *bufio.Writer, n int) { fmt.Fprintf(w, "*%d\r\n", n) }
+
+// Reply reading (client side).
+
+// reply is a decoded RESP reply.
+type reply struct {
+	kind  byte // '+', '-', ':', '$', '*'
+	str   string
+	n     int
+	bulk  []byte
+	array []reply
+}
+
+func readReply(r *bufio.Reader) (reply, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return reply{}, err
+	}
+	if len(line) == 0 {
+		return reply{}, errProtocol
+	}
+	switch line[0] {
+	case '+':
+		return reply{kind: '+', str: string(line[1:])}, nil
+	case '-':
+		return reply{kind: '-', str: string(line[1:])}, nil
+	case ':':
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil {
+			return reply{}, errProtocol
+		}
+		return reply{kind: ':', n: n}, nil
+	case '$':
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil || n < -1 || n > maxBulkLen {
+			return reply{}, errProtocol
+		}
+		if n == -1 {
+			return reply{kind: '$', bulk: nil}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return reply{}, err
+		}
+		return reply{kind: '$', bulk: buf[:n]}, nil
+	case '*':
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil || n < 0 || n > 1<<20 {
+			return reply{}, errProtocol
+		}
+		arr := make([]reply, n)
+		for i := range arr {
+			arr[i], err = readReply(r)
+			if err != nil {
+				return reply{}, err
+			}
+		}
+		return reply{kind: '*', array: arr}, nil
+	}
+	return reply{}, errProtocol
+}

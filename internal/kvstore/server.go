@@ -1,0 +1,260 @@
+package kvstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Server serves a Store over TCP using RESP.
+type Server struct {
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the store on addr (e.g. "127.0.0.1:0") and returns
+// immediately; the listener runs until Close.
+func Serve(store *Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		args, err := readCommand(r)
+		if err != nil {
+			return
+		}
+		if !s.dispatch(w, args) {
+			w.Flush()
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one command and writes its reply; it returns false when
+// the connection should close (QUIT).
+func (s *Server) dispatch(w *bufio.Writer, args [][]byte) bool {
+	if len(args) == 0 {
+		writeError(w, "empty command")
+		return true
+	}
+	cmd := strings.ToUpper(string(args[0]))
+	str := func(i int) string { return string(args[i]) }
+	switch cmd {
+	case "PING":
+		if len(args) == 2 {
+			writeBulk(w, args[1])
+		} else {
+			writeSimple(w, "PONG")
+		}
+	case "ECHO":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'echo'")
+			break
+		}
+		writeBulk(w, args[1])
+	case "SET":
+		if len(args) != 3 {
+			writeError(w, "wrong number of arguments for 'set'")
+			break
+		}
+		s.store.Set(str(1), args[2])
+		writeSimple(w, "OK")
+	case "GET":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'get'")
+			break
+		}
+		v, ok := s.store.Get(str(1))
+		if !ok {
+			writeBulk(w, nil)
+		} else {
+			writeBulk(w, v)
+		}
+	case "SETNX":
+		if len(args) != 3 {
+			writeError(w, "wrong number of arguments for 'setnx'")
+			break
+		}
+		if s.store.SetNX(str(1), args[2]) {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "MGET":
+		if len(args) < 2 {
+			writeError(w, "wrong number of arguments for 'mget'")
+			break
+		}
+		keys := make([]string, len(args)-1)
+		for i := range keys {
+			keys[i] = str(i + 1)
+		}
+		vals := s.store.MGet(keys...)
+		writeArrayHeader(w, len(vals))
+		for _, v := range vals {
+			writeBulk(w, v)
+		}
+	case "INCR":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'incr'")
+			break
+		}
+		n, err := s.store.Incr(str(1))
+		if err != nil {
+			writeError(w, err.Error())
+			break
+		}
+		writeInt(w, int(n))
+	case "DEL":
+		if len(args) < 2 {
+			writeError(w, "wrong number of arguments for 'del'")
+			break
+		}
+		keys := make([]string, len(args)-1)
+		for i := range keys {
+			keys[i] = str(i + 1)
+		}
+		writeInt(w, s.store.Del(keys...))
+	case "EXISTS":
+		if len(args) < 2 {
+			writeError(w, "wrong number of arguments for 'exists'")
+			break
+		}
+		keys := make([]string, len(args)-1)
+		for i := range keys {
+			keys[i] = str(i + 1)
+		}
+		writeInt(w, s.store.Exists(keys...))
+	case "KEYS":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'keys'")
+			break
+		}
+		keys := s.store.Keys(str(1))
+		writeArrayHeader(w, len(keys))
+		for _, k := range keys {
+			writeBulk(w, []byte(k))
+		}
+	case "DBSIZE":
+		writeInt(w, s.store.DBSize())
+	case "FLUSHALL":
+		s.store.FlushAll()
+		writeSimple(w, "OK")
+	case "HSET":
+		if len(args) != 4 {
+			writeError(w, "wrong number of arguments for 'hset'")
+			break
+		}
+		if s.store.HSet(str(1), str(2), args[3]) {
+			writeInt(w, 1)
+		} else {
+			writeInt(w, 0)
+		}
+	case "HGET":
+		if len(args) != 3 {
+			writeError(w, "wrong number of arguments for 'hget'")
+			break
+		}
+		v, ok := s.store.HGet(str(1), str(2))
+		if !ok {
+			writeBulk(w, nil)
+		} else {
+			writeBulk(w, v)
+		}
+	case "HDEL":
+		if len(args) < 3 {
+			writeError(w, "wrong number of arguments for 'hdel'")
+			break
+		}
+		fields := make([]string, len(args)-2)
+		for i := range fields {
+			fields[i] = str(i + 2)
+		}
+		writeInt(w, s.store.HDel(str(1), fields...))
+	case "HLEN":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'hlen'")
+			break
+		}
+		writeInt(w, s.store.HLen(str(1)))
+	case "HKEYS":
+		if len(args) != 2 {
+			writeError(w, "wrong number of arguments for 'hkeys'")
+			break
+		}
+		fields := s.store.HKeys(str(1))
+		writeArrayHeader(w, len(fields))
+		for _, f := range fields {
+			writeBulk(w, []byte(f))
+		}
+	case "QUIT":
+		writeSimple(w, "OK")
+		return false
+	default:
+		writeError(w, fmt.Sprintf("unknown command '%s'", cmd))
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package sift
+
+import (
+	"math"
+	"sort"
+
+	"texid/internal/texture"
+)
+
+// Keypoint is a detected scale-space extremum with orientation.
+type Keypoint struct {
+	X, Y     float64 // position in original image coordinates
+	Sigma    float64 // absolute scale
+	Angle    float64 // dominant gradient orientation, radians in [0, 2π)
+	Response float64 // |DoG| value at the refined extremum
+	Octave   int
+	Level    int
+}
+
+// detectExtrema finds local extrema of the DoG pyramid, refines them to
+// subpixel accuracy, and filters by contrast and edge response.
+func detectExtrema(p *pyramid, cfg Config) []Keypoint {
+	var kps []Keypoint
+	border := 5
+
+	for o := 0; o < p.nOctaves; o++ {
+		scale := math.Pow(2, float64(o)) * p.coordScale // octave pixel -> original pixel
+		for l := 1; l < len(p.dog[o])-1; l++ {
+			d0 := p.dog[o][l-1]
+			d1 := p.dog[o][l]
+			d2 := p.dog[o][l+1]
+			w, h := d1.W, d1.H
+			for y := border; y < h-border; y++ {
+				for x := border; x < w-border; x++ {
+					v := d1.At(x, y)
+					if math.Abs(float64(v)) < cfg.ContrastThreshold*0.5 {
+						continue
+					}
+					if !isExtremum(d0, d1, d2, x, y, v) {
+						continue
+					}
+					kp, ok := refine(p, o, l, x, y, cfg)
+					if !ok {
+						continue
+					}
+					kp.X *= scale
+					kp.Y *= scale
+					kp.Sigma *= scale
+					kps = append(kps, kp)
+				}
+			}
+		}
+	}
+	return kps
+}
+
+// isExtremum reports whether d1(x,y)=v is a strict maximum or minimum over
+// its 26 scale-space neighbors.
+func isExtremum(d0, d1, d2 *texture.Image, x, y int, v float32) bool {
+	if v > 0 {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if d0.At(x+dx, y+dy) >= v || d2.At(x+dx, y+dy) >= v {
+					return false
+				}
+				if (dx != 0 || dy != 0) && d1.At(x+dx, y+dy) >= v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if d0.At(x+dx, y+dy) <= v || d2.At(x+dx, y+dy) <= v {
+				return false
+			}
+			if (dx != 0 || dy != 0) && d1.At(x+dx, y+dy) <= v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refine performs up to five iterations of 3-D quadratic interpolation to
+// locate the extremum to subpixel accuracy, then applies the contrast and
+// principal-curvature (edge) tests from Lowe §4 and §4.1.
+func refine(p *pyramid, o, l, x, y int, cfg Config) (Keypoint, bool) {
+	d := p.dog[o]
+	var dx, dy, ds float64
+	for iter := 0; iter < 5; iter++ {
+		d0, d1, d2 := d[l-1], d[l], d[l+1]
+
+		// First derivatives (central differences).
+		gx := 0.5 * float64(d1.At(x+1, y)-d1.At(x-1, y))
+		gy := 0.5 * float64(d1.At(x, y+1)-d1.At(x, y-1))
+		gs := 0.5 * float64(d2.At(x, y)-d0.At(x, y))
+
+		// Second derivatives.
+		v := float64(d1.At(x, y))
+		hxx := float64(d1.At(x+1, y)) + float64(d1.At(x-1, y)) - 2*v
+		hyy := float64(d1.At(x, y+1)) + float64(d1.At(x, y-1)) - 2*v
+		hss := float64(d2.At(x, y)) + float64(d0.At(x, y)) - 2*v
+		hxy := 0.25 * float64(d1.At(x+1, y+1)-d1.At(x-1, y+1)-d1.At(x+1, y-1)+d1.At(x-1, y-1))
+		hxs := 0.25 * float64(d2.At(x+1, y)-d2.At(x-1, y)-d0.At(x+1, y)+d0.At(x-1, y))
+		hys := 0.25 * float64(d2.At(x, y+1)-d2.At(x, y-1)-d0.At(x, y+1)+d0.At(x, y-1))
+
+		// Solve H·δ = -g with Cramer's rule.
+		det := hxx*(hyy*hss-hys*hys) - hxy*(hxy*hss-hys*hxs) + hxs*(hxy*hys-hyy*hxs)
+		if math.Abs(det) < 1e-20 {
+			return Keypoint{}, false
+		}
+		dx = -(gx*(hyy*hss-hys*hys) - gy*(hxy*hss-hys*hxs) + gs*(hxy*hys-hyy*hxs)) / det
+		dy = -(hxx*(gy*hss-gs*hys) - hxy*(gx*hss-gs*hxs) + hxs*(gx*hys-gy*hxs)) / det
+		ds = -(hxx*(hyy*gs-hys*gy) - hxy*(hxy*gs-hys*gx) + hxs*(hxy*gy-hyy*gx)) / det
+
+		if math.Abs(dx) < 0.5 && math.Abs(dy) < 0.5 && math.Abs(ds) < 0.5 {
+			// Converged: contrast test on the interpolated value.
+			contrast := v + 0.5*(gx*dx+gy*dy+gs*ds)
+			if math.Abs(contrast) < cfg.ContrastThreshold {
+				return Keypoint{}, false
+			}
+			// Edge test: ratio of principal curvatures of the 2-D Hessian.
+			tr := hxx + hyy
+			det2 := hxx*hyy - hxy*hxy
+			r := cfg.EdgeThreshold
+			if det2 <= 0 || tr*tr*r >= (r+1)*(r+1)*det2 {
+				return Keypoint{}, false
+			}
+			level := float64(l) + ds
+			sigma := p.baseSigma * math.Pow(2, level/float64(p.nScales))
+			return Keypoint{
+				X:        float64(x) + dx,
+				Y:        float64(y) + dy,
+				Sigma:    sigma,
+				Response: math.Abs(contrast),
+				Octave:   o,
+				Level:    l,
+			}, true
+		}
+
+		// Step to the neighboring sample and retry.
+		x += int(math.Round(dx))
+		y += int(math.Round(dy))
+		l += int(math.Round(ds))
+		if l < 1 || l > len(d)-2 || x < 5 || x >= d[0].W-5 || y < 5 || y >= d[0].H-5 {
+			return Keypoint{}, false
+		}
+	}
+	return Keypoint{}, false
+}
+
+// assignOrientations computes the dominant gradient orientation(s) of each
+// keypoint from a 36-bin histogram of gradient angles in a Gaussian-weighted
+// neighborhood (Lowe §5). Peaks within 80% of the maximum spawn additional
+// keypoints, as in the original algorithm.
+func assignOrientations(p *pyramid, kps []Keypoint) []Keypoint {
+	const nbins = 36
+	var out []Keypoint
+	for _, kp := range kps {
+		g := p.gauss[kp.Octave][kp.Level]
+		scale := math.Pow(2, float64(kp.Octave)) * p.coordScale
+		// Keypoint position in octave coordinates.
+		ox := kp.X / scale
+		oy := kp.Y / scale
+		sigma := 1.5 * kp.Sigma / scale
+		radius := int(math.Round(3 * sigma))
+		if radius < 1 {
+			radius = 1
+		}
+
+		var hist [nbins]float64
+		xi, yi := int(math.Round(ox)), int(math.Round(oy))
+		inv := -0.5 / (sigma * sigma)
+		for dy := -radius; dy <= radius; dy++ {
+			for dx := -radius; dx <= radius; dx++ {
+				x, y := xi+dx, yi+dy
+				if x < 1 || x >= g.W-1 || y < 1 || y >= g.H-1 {
+					continue
+				}
+				gx := float64(g.At(x+1, y) - g.At(x-1, y))
+				gy := float64(g.At(x, y+1) - g.At(x, y-1))
+				mag := math.Sqrt(gx*gx + gy*gy)
+				ang := math.Atan2(gy, gx) // [-π, π]
+				w := math.Exp(float64(dx*dx+dy*dy) * inv)
+				bin := int(math.Floor((ang + math.Pi) / (2 * math.Pi) * nbins))
+				if bin >= nbins {
+					bin = nbins - 1
+				}
+				hist[bin] += w * mag
+			}
+		}
+
+		// Smooth the histogram twice with a [1 1 1]/3 box filter.
+		for pass := 0; pass < 2; pass++ {
+			var sm [nbins]float64
+			for i := 0; i < nbins; i++ {
+				sm[i] = (hist[(i+nbins-1)%nbins] + hist[i] + hist[(i+1)%nbins]) / 3
+			}
+			hist = sm
+		}
+
+		maxVal := 0.0
+		for _, v := range hist {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if maxVal == 0 {
+			continue
+		}
+		for i := 0; i < nbins; i++ {
+			prev := hist[(i+nbins-1)%nbins]
+			next := hist[(i+1)%nbins]
+			if hist[i] <= prev || hist[i] <= next || hist[i] < 0.8*maxVal {
+				continue
+			}
+			// Parabolic peak interpolation.
+			offset := 0.5 * (prev - next) / (prev - 2*hist[i] + next)
+			angle := (float64(i)+0.5+offset)/nbins*2*math.Pi - math.Pi
+			if angle < 0 {
+				angle += 2 * math.Pi
+			}
+			k := kp
+			k.Angle = angle
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// topKByResponse sorts keypoints by descending DoG response and keeps the
+// k strongest (k <= 0 keeps all, still sorted). Response ordering is what
+// makes the asymmetric extraction of Sec. 7 a simple prefix: reference
+// images keep the m strongest features, queries the n strongest, and a
+// caller holding a full extraction can trim to any budget by truncation.
+func topKByResponse(kps []Keypoint, k int) []Keypoint {
+	sort.Slice(kps, func(i, j int) bool {
+		if kps[i].Response != kps[j].Response {
+			return kps[i].Response > kps[j].Response
+		}
+		// Deterministic tie-break on position.
+		if kps[i].Y != kps[j].Y {
+			return kps[i].Y < kps[j].Y
+		}
+		return kps[i].X < kps[j].X
+	})
+	if k <= 0 || k >= len(kps) {
+		return kps
+	}
+	return kps[:k]
+}

@@ -1,0 +1,118 @@
+package sift
+
+import (
+	"math"
+
+	"texid/internal/blas"
+	"texid/internal/texture"
+)
+
+// Config holds the extractor parameters. The zero value is not usable; use
+// DefaultConfig.
+type Config struct {
+	// Sigma is the base blur of the first scale-space level (Lowe: 1.6).
+	Sigma float64
+	// InitialBlur is the blur assumed already present in the input image
+	// (Lowe: 0.5).
+	InitialBlur float64
+	// OctaveScales is the number of sampled intervals per octave (Lowe: 3).
+	OctaveScales int
+	// MaxOctaves caps the pyramid depth; 0 means as deep as the image
+	// allows.
+	MaxOctaves int
+	// Upsample doubles the input image before building the pyramid
+	// (Lowe's "-1 octave"). Fine pressed-leaf detail lives at 1–3 px, so
+	// this roughly quadruples the keypoint yield on texture images.
+	Upsample bool
+	// ContrastThreshold rejects low-contrast extrema, on images scaled to
+	// [0, 1] (Lowe uses 0.03).
+	ContrastThreshold float64
+	// EdgeThreshold is the maximum ratio of principal curvatures (Lowe: 10).
+	EdgeThreshold float64
+	// MaxFeatures keeps only the strongest keypoints by DoG response;
+	// 0 keeps all. The paper extracts 768 features per image by default and
+	// studies reducing the reference side to 384 (Table 7).
+	MaxFeatures int
+	// RootSIFT applies the Hellinger-kernel transform after extraction:
+	// L1-normalize, element-wise square root. RootSIFT descriptors have
+	// unit L2 norm, which lets the 2-NN pipeline drop the N_R/N_Q terms
+	// (Algorithm 2).
+	RootSIFT bool
+}
+
+// DefaultConfig returns Lowe's standard parameters with the paper's default
+// feature budget.
+func DefaultConfig() Config {
+	return Config{
+		Sigma:             1.6,
+		InitialBlur:       0.5,
+		OctaveScales:      3,
+		Upsample:          true,
+		ContrastThreshold: 0.006,
+		EdgeThreshold:     10,
+		MaxFeatures:       768,
+		RootSIFT:          false,
+	}
+}
+
+// Features is the output of extraction: a d×N descriptor matrix (one
+// descriptor per column, matching the paper's feature-matrix layout) plus
+// the keypoint geometry needed for geometric verification.
+type Features struct {
+	Descriptors *blas.Matrix // DescriptorDim × len(Keypoints)
+	Keypoints   []Keypoint
+}
+
+// Count returns the number of extracted features.
+func (f *Features) Count() int { return len(f.Keypoints) }
+
+// Extract runs the full SIFT pipeline on im.
+func Extract(im *texture.Image, cfg Config) *Features {
+	p := buildPyramid(im, cfg)
+	kps := detectExtrema(p, cfg)
+	kps = assignOrientations(p, kps)
+	kps = topKByResponse(kps, cfg.MaxFeatures)
+
+	desc := blas.NewMatrix(DescriptorDim, len(kps))
+	for i, kp := range kps {
+		copy(desc.Col(i), computeDescriptor(p, kp))
+	}
+	f := &Features{Descriptors: desc, Keypoints: kps}
+	if cfg.RootSIFT {
+		ApplyRootSIFT(f.Descriptors)
+	}
+	return f
+}
+
+// ApplyRootSIFT transforms descriptors in place: each column is
+// L1-normalized and square-rooted element-wise. The Euclidean distance
+// between RootSIFT vectors equals the Hellinger-kernel distance between the
+// original SIFT histograms, and every transformed vector has unit L2 norm —
+// so ρ²(r, q) = 2 − 2·rᵀq, eliminating Algorithm 1's norm vectors.
+func ApplyRootSIFT(desc *blas.Matrix) {
+	for j := 0; j < desc.Cols; j++ {
+		col := desc.Col(j)
+		var l1 float64
+		for _, v := range col {
+			l1 += math.Abs(float64(v))
+		}
+		if l1 == 0 {
+			continue
+		}
+		inv := 1 / l1
+		for i, v := range col {
+			col[i] = float32(math.Sqrt(math.Abs(float64(v)) * inv))
+		}
+	}
+}
+
+// ExtractAsymmetric extracts reference features with budget m and query
+// features with budget n from the same configuration, implementing the
+// asymmetric extraction of Sec. 7. It returns the adjusted configs.
+func ExtractAsymmetric(cfg Config, m, n int) (refCfg, queryCfg Config) {
+	refCfg = cfg
+	refCfg.MaxFeatures = m
+	queryCfg = cfg
+	queryCfg.MaxFeatures = n
+	return refCfg, queryCfg
+}

@@ -1,0 +1,85 @@
+package surf
+
+import (
+	"math"
+
+	"texid/internal/blas"
+	"texid/internal/sift"
+	"texid/internal/texture"
+)
+
+// describe computes the 64-D SURF descriptor: a 20s window rotated to the
+// keypoint orientation, split into a 4×4 grid; each cell accumulates
+// (Σdx, Σ|dx|, Σdy, Σ|dy|) of rotated, Gaussian-weighted Haar responses
+// sampled on a 5×5 grid. The vector is L2-normalized (unit norm, directly
+// usable by the Algorithm 2 matcher, like RootSIFT vectors).
+func describe(ii *integralImage, kp sift.Keypoint, angle float64) []float32 {
+	s := kp.Sigma
+	si := int(math.Round(s))
+	if si < 1 {
+		si = 1
+	}
+	cosT, sinT := math.Cos(angle), math.Sin(angle)
+	desc := make([]float64, DescriptorDim)
+
+	idx := 0
+	for cy := -2; cy < 2; cy++ {
+		for cx := -2; cx < 2; cx++ {
+			var sdx, sdy, adx, ady float64
+			for u := 0; u < 5; u++ {
+				for v := 0; v < 5; v++ {
+					// Sample position in the keypoint frame (units of s).
+					px := (float64(cx*5+u) + 0.5) * s
+					py := (float64(cy*5+v) + 0.5) * s
+					// Rotate into image coordinates.
+					gx := kp.X + px*cosT - py*sinT
+					gy := kp.Y + px*sinT + py*cosT
+					rx := ii.haarX(int(math.Round(gx)), int(math.Round(gy)), 2*si)
+					ry := ii.haarY(int(math.Round(gx)), int(math.Round(gy)), 2*si)
+					// Rotate responses back into the keypoint frame.
+					dx := rx*cosT + ry*sinT
+					dy := -rx*sinT + ry*cosT
+					w := gauss(px/s, py/s, 3.3)
+					dx *= w
+					dy *= w
+					sdx += dx
+					sdy += dy
+					adx += math.Abs(dx)
+					ady += math.Abs(dy)
+				}
+			}
+			desc[idx] = sdx
+			desc[idx+1] = adx
+			desc[idx+2] = sdy
+			desc[idx+3] = ady
+			idx += 4
+		}
+	}
+
+	var norm float64
+	for _, v := range desc {
+		norm += v * v
+	}
+	out := make([]float32, DescriptorDim)
+	if norm > 0 {
+		inv := 1 / math.Sqrt(norm)
+		for i, v := range desc {
+			out[i] = float32(v * inv)
+		}
+	}
+	return out
+}
+
+// Extract runs the full SURF pipeline. Results are returned in the shared
+// sift.Features container (the matching system is descriptor-agnostic —
+// only the dimension differs: 64 instead of 128).
+func Extract(im *texture.Image, cfg Config) *sift.Features {
+	ii := newIntegral(im)
+	kps := detect(ii, cfg)
+	desc := blas.NewMatrix(DescriptorDim, len(kps))
+	for i := range kps {
+		kps[i].Angle = orientation(ii, kps[i])
+		copy(desc.Col(i), describe(ii, kps[i], kps[i].Angle))
+	}
+	return &sift.Features{Descriptors: desc, Keypoints: kps}
+}

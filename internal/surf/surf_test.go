@@ -1,0 +1,182 @@
+package surf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"texid/internal/texture"
+)
+
+func testImage(seed int64) *texture.Image {
+	p := texture.DefaultGenParams()
+	p.Size = 128
+	p.Flakes = 500
+	return texture.Generate(seed, p)
+}
+
+func TestIntegralImage(t *testing.T) {
+	im := texture.NewImage(4, 3)
+	for i := range im.Pix {
+		im.Pix[i] = 1
+	}
+	ii := newIntegral(im)
+	if got := ii.boxSum(0, 0, 4, 3); got != 12 {
+		t.Fatalf("full box sum = %g, want 12", got)
+	}
+	if got := ii.boxSum(1, 1, 3, 2); got != 2 {
+		t.Fatalf("inner box sum = %g, want 2", got)
+	}
+	// Clamped queries.
+	if got := ii.boxSum(-5, -5, 100, 100); got != 12 {
+		t.Fatalf("clamped box sum = %g", got)
+	}
+	if got := ii.boxSum(3, 2, 1, 1); got != 0 {
+		t.Fatalf("inverted box sum = %g, want 0", got)
+	}
+}
+
+func TestIntegralMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := texture.NewImage(16, 11)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float32()
+	}
+	ii := newIntegral(im)
+	for trial := 0; trial < 100; trial++ {
+		x0, y0 := rng.Intn(16), rng.Intn(11)
+		x1, y1 := x0+rng.Intn(16-x0)+1, y0+rng.Intn(11-y0)+1
+		var want float64
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				want += float64(im.At(x, y))
+			}
+		}
+		if got := ii.boxSum(x0, y0, x1, y1); math.Abs(got-want) > 1e-4 {
+			t.Fatalf("boxSum(%d,%d,%d,%d) = %g, want %g", x0, y0, x1, y1, got, want)
+		}
+	}
+}
+
+func TestHaarResponses(t *testing.T) {
+	// A vertical step edge: haarX large, haarY ~0.
+	im := texture.NewImage(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 16; x < 32; x++ {
+			im.Set(x, y, 1)
+		}
+	}
+	ii := newIntegral(im)
+	if hx := ii.haarX(16, 16, 8); hx <= 0 {
+		t.Fatalf("haarX on a rising edge = %g, want > 0", hx)
+	}
+	if hy := math.Abs(ii.haarY(16, 16, 8)); hy > 1e-9 {
+		t.Fatalf("haarY on a vertical edge = %g, want 0", hy)
+	}
+}
+
+func TestExtractFindsKeypoints(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFeatures = 0
+	f := Extract(testImage(1), cfg)
+	if f.Count() < 60 {
+		t.Fatalf("only %d SURF keypoints on a textured image", f.Count())
+	}
+	if f.Descriptors.Rows != DescriptorDim {
+		t.Fatalf("descriptor dim %d", f.Descriptors.Rows)
+	}
+	for j := 0; j < f.Count(); j++ {
+		var n float64
+		for _, v := range f.Descriptors.Col(j) {
+			n += float64(v) * float64(v)
+		}
+		if math.Abs(n-1) > 1e-3 {
+			t.Fatalf("descriptor %d has squared norm %g, want 1", j, n)
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	a := Extract(testImage(2), DefaultConfig())
+	b := Extract(testImage(2), DefaultConfig())
+	if a.Count() != b.Count() {
+		t.Fatalf("counts differ: %d vs %d", a.Count(), b.Count())
+	}
+	for i := range a.Descriptors.Data {
+		if a.Descriptors.Data[i] != b.Descriptors.Data[i] {
+			t.Fatal("extraction not deterministic")
+		}
+	}
+}
+
+func TestMaxFeaturesCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFeatures = 40
+	f := Extract(testImage(3), cfg)
+	if f.Count() != 40 {
+		t.Fatalf("cap produced %d features", f.Count())
+	}
+	// Response-sorted: strongest first.
+	for i := 1; i < f.Count(); i++ {
+		if f.Keypoints[i].Response > f.Keypoints[i-1].Response {
+			t.Fatal("keypoints not response-sorted")
+		}
+	}
+}
+
+// matchCount is a brute-force 2-NN ratio-test count between feature sets.
+func matchCount(ref, query *blasFeatures, ratio float64) int {
+	n := 0
+	for q := 0; q < query.cols; q++ {
+		qc := query.col(q)
+		best, second := math.MaxFloat64, math.MaxFloat64
+		for r := 0; r < ref.cols; r++ {
+			rc := ref.col(r)
+			var d float64
+			for i := range qc {
+				diff := float64(qc[i] - rc[i])
+				d += diff * diff
+			}
+			if d < best {
+				second = best
+				best = d
+			} else if d < second {
+				second = d
+			}
+		}
+		if second > 0 && math.Sqrt(best) < ratio*math.Sqrt(second) {
+			n++
+		}
+	}
+	return n
+}
+
+type blasFeatures struct {
+	cols int
+	col  func(int) []float32
+}
+
+func TestDiscriminability(t *testing.T) {
+	// SURF features of a perturbed re-capture must match the true texture
+	// far better than a different texture.
+	cfg := DefaultConfig()
+	cfg.MaxFeatures = 200
+	refA := Extract(testImage(10), cfg)
+	refB := Extract(testImage(11), cfg)
+	rng := rand.New(rand.NewSource(5))
+	pert := texture.RandomPerturbation(rng, 0.25)
+	query := Extract(pert.Apply(testImage(10)), cfg)
+
+	fa := &blasFeatures{cols: refA.Descriptors.Cols, col: refA.Descriptors.Col}
+	fb := &blasFeatures{cols: refB.Descriptors.Cols, col: refB.Descriptors.Col}
+	fq := &blasFeatures{cols: query.Descriptors.Cols, col: query.Descriptors.Col}
+	same := matchCount(fa, fq, 0.75)
+	diff := matchCount(fb, fq, 0.75)
+	t.Logf("SURF matches: same %d, different %d", same, diff)
+	if same < 10 {
+		t.Fatalf("too few same-texture SURF matches: %d", same)
+	}
+	if same < 3*diff {
+		t.Fatalf("insufficient margin: same %d vs diff %d", same, diff)
+	}
+}

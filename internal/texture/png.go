@@ -1,0 +1,50 @@
+package texture
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// EncodePNG writes the image as an 8-bit grayscale PNG. Pixel values are
+// clamped to [0, 1] before quantization.
+func EncodePNG(w io.Writer, im *Image) error {
+	g := image.NewGray(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.At(x, y)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			g.SetGray(x, y, color.Gray{Y: uint8(v*255 + 0.5)})
+		}
+	}
+	return png.Encode(w, g)
+}
+
+// DecodePNG reads a PNG (any color model; colors are converted to
+// luminance) into a float32 image in [0, 1].
+func DecodePNG(r io.Reader) (*Image, error) {
+	src, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("texture: decoding PNG: %w", err)
+	}
+	b := src.Bounds()
+	if b.Dx() <= 0 || b.Dy() <= 0 {
+		return nil, fmt.Errorf("texture: empty PNG image")
+	}
+	im := NewImage(b.Dx(), b.Dy())
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			// color.GrayModel gives the standard luma weighting for RGB
+			// inputs and is exact for grayscale inputs.
+			g := color.GrayModel.Convert(src.At(x, y)).(color.Gray)
+			im.Set(x-b.Min.X, y-b.Min.Y, float32(g.Y)/255)
+		}
+	}
+	return im, nil
+}

@@ -1,0 +1,216 @@
+// Package wire implements the binary serialization of reference feature
+// records used for storage and transport in the distributed system. The
+// paper serializes feature matrices with Google protobuf before storing
+// them in Redis; this package is the stdlib-only substitute: a compact
+// varint-framed encoding with the same role (schema'd, versioned,
+// byte-exact round-trips, usable both as Redis values and on the wire).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"texid/internal/blas"
+	"texid/internal/gpusim"
+	"texid/internal/half"
+	"texid/internal/sift"
+)
+
+// magic and version guard decoding of foreign bytes.
+const (
+	magic   = 0x54584946 // "TXIF"
+	version = 1
+)
+
+// ErrCorrupt is returned when bytes do not parse as a feature record.
+var ErrCorrupt = errors.New("wire: corrupt feature record")
+
+// FeatureRecord is the serialized form of one reference texture's features.
+type FeatureRecord struct {
+	ID        int64
+	Precision gpusim.Precision
+	Scale     float32
+	// Features is d×m (one descriptor per column).
+	Features *blas.Matrix
+	// Keypoints is optional geometry for geometric verification.
+	Keypoints []sift.Keypoint
+}
+
+// appendUvarint appends v as an unsigned varint.
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// Encode serializes the record. FP16 precision stores descriptors as
+// binary16 (after applying Scale), halving the stored size exactly as the
+// production system does.
+func Encode(r *FeatureRecord) []byte {
+	d, m := 0, 0
+	if r.Features != nil {
+		d, m = r.Features.Rows, r.Features.Cols
+	}
+	est := 64 + d*m*4 + len(r.Keypoints)*40
+	b := make([]byte, 0, est)
+	b = binary.LittleEndian.AppendUint32(b, magic)
+	b = append(b, version)
+	b = appendUvarint(b, uint64(r.ID))
+	b = append(b, byte(r.Precision))
+	b = binary.LittleEndian.AppendUint32(b, math.Float32bits(r.Scale))
+	b = appendUvarint(b, uint64(d))
+	b = appendUvarint(b, uint64(m))
+	if r.Precision == gpusim.FP16 {
+		scale := r.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		for j := 0; j < m; j++ {
+			for _, v := range r.Features.Col(j) {
+				b = binary.LittleEndian.AppendUint16(b, uint16(half.FromFloat32(v*scale)))
+			}
+		}
+	} else {
+		for j := 0; j < m; j++ {
+			for _, v := range r.Features.Col(j) {
+				b = binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+			}
+		}
+	}
+	b = appendUvarint(b, uint64(len(r.Keypoints)))
+	for _, kp := range r.Keypoints {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(kp.X)))
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(kp.Y)))
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(kp.Sigma)))
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(kp.Angle)))
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(kp.Response)))
+	}
+	return b
+}
+
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.pos+2 > len(r.b) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.b) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil || r.pos >= len(r.b) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
+
+// Decode parses a record encoded by Encode. FP16 records come back widened
+// to float32 with the storage scale divided back out, so Features is always
+// in original descriptor units (the FP16 quantization itself is of course
+// not undone).
+func Decode(b []byte) (*FeatureRecord, error) {
+	r := &reader{b: b}
+	if r.u32() != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := r.byte(); v != version {
+		return nil, fmt.Errorf("wire: unsupported version %d", v)
+	}
+	rec := &FeatureRecord{}
+	rec.ID = int64(r.uvarint())
+	rec.Precision = gpusim.Precision(r.byte())
+	if rec.Precision != gpusim.FP32 && rec.Precision != gpusim.FP16 {
+		return nil, fmt.Errorf("%w: bad precision %d", ErrCorrupt, rec.Precision)
+	}
+	rec.Scale = r.f32()
+	d := int(r.uvarint())
+	m := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	const maxDim = 1 << 24
+	if d < 0 || m < 0 || d > maxDim || m > maxDim || d*m > maxDim {
+		return nil, fmt.Errorf("%w: unreasonable dimensions %dx%d", ErrCorrupt, d, m)
+	}
+	rec.Features = blas.NewMatrix(d, m)
+	if rec.Precision == gpusim.FP16 {
+		inv := float32(1)
+		if rec.Scale != 0 && rec.Scale != 1 {
+			inv = 1 / rec.Scale
+		}
+		for j := 0; j < m; j++ {
+			col := rec.Features.Col(j)
+			for i := range col {
+				col[i] = half.Float16(r.u16()).Float32() * inv
+			}
+		}
+	} else {
+		for j := 0; j < m; j++ {
+			col := rec.Features.Col(j)
+			for i := range col {
+				col[i] = r.f32()
+			}
+		}
+	}
+	nk := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nk < 0 || nk > maxDim {
+		return nil, fmt.Errorf("%w: unreasonable keypoint count %d", ErrCorrupt, nk)
+	}
+	rec.Keypoints = make([]sift.Keypoint, nk)
+	for i := range rec.Keypoints {
+		rec.Keypoints[i] = sift.Keypoint{
+			X:        float64(r.f32()),
+			Y:        float64(r.f32()),
+			Sigma:    float64(r.f32()),
+			Angle:    float64(r.f32()),
+			Response: float64(r.f32()),
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.pos)
+	}
+	return rec, nil
+}

@@ -1,0 +1,112 @@
+package texid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"texid/internal/blas"
+	"texid/internal/sift"
+	"texid/internal/wire"
+)
+
+// Snapshot persistence for a single-node System: Save streams every
+// enrolled reference as a length-prefixed wire.FeatureRecord, Load replays
+// the stream into a (typically fresh) System. The distributed deployment
+// persists through the kvstore instead; this format serves single-node
+// embedding and offline backups.
+
+const (
+	snapshotMagic   = 0x54584442 // "TXDB"
+	snapshotVersion = 1
+)
+
+// ErrBadSnapshot is returned for malformed snapshot streams.
+var ErrBadSnapshot = errors.New("texid: bad snapshot")
+
+// Save writes the full reference index to w. Features are stored in the
+// system's configured precision (FP16 snapshots are half the size).
+func (s *System) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], snapshotMagic)
+	hdr[4] = snapshotVersion
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	count := 0
+	err := s.eng.Export(func(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+		rec := &wire.FeatureRecord{
+			ID:        int64(id),
+			Precision: s.cfg.Engine.Precision,
+			Scale:     s.cfg.Engine.Scale,
+			Features:  feats,
+			Keypoints: kps,
+		}
+		b := wire.Encode(rec)
+		var sz [4]byte
+		binary.LittleEndian.PutUint32(sz[:], uint32(len(b)))
+		if _, err := bw.Write(sz[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Zero-length terminator.
+	var end [4]byte
+	if _, err := bw.Write(end[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load replays a snapshot into the system, enrolling every record. It
+// returns the number of references restored. Records whose ids already
+// exist are rejected (load into a fresh system).
+func (s *System) Load(r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: short header", ErrBadSnapshot)
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != snapshotMagic {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if hdr[4] != snapshotVersion {
+		return 0, fmt.Errorf("texid: unsupported snapshot version %d", hdr[4])
+	}
+	n := 0
+	for {
+		var sz [4]byte
+		if _, err := io.ReadFull(br, sz[:]); err != nil {
+			return n, fmt.Errorf("%w: truncated record length", ErrBadSnapshot)
+		}
+		l := binary.LittleEndian.Uint32(sz[:])
+		if l == 0 {
+			return n, nil // terminator
+		}
+		if l > 1<<30 {
+			return n, fmt.Errorf("%w: unreasonable record size %d", ErrBadSnapshot, l)
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return n, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
+		}
+		rec, err := wire.Decode(buf)
+		if err != nil {
+			return n, fmt.Errorf("texid: snapshot record %d: %w", n, err)
+		}
+		if err := s.eng.Add(int(rec.ID), rec.Features, rec.Keypoints); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

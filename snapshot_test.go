@@ -1,0 +1,70 @@
+package texid
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	sys, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := make(map[int]*Image)
+	for id := 1; id <= 5; id++ {
+		images[id] = smallTexture(int64(id * 3))
+		if err := sys.EnrollImage(id, images[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Remove(2) // tombstones must not be persisted
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Open(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := restored.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("restored %d references, want 4", n)
+	}
+	// Restored index identifies re-captures of the surviving textures.
+	for _, id := range []int{1, 3, 4, 5} {
+		res, err := restored.SearchImage(CaptureQuery(images[id], int64(id), 0.25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ID != id || !res.Accepted {
+			t.Fatalf("texture %d lost in snapshot: %+v", id, res)
+		}
+	}
+	// The removed texture stays gone.
+	res, _ := restored.SearchImage(CaptureQuery(images[2], 99, 0.25))
+	if res.Accepted && res.ID == 2 {
+		t.Fatal("tombstoned texture resurrected by snapshot")
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	sys, _ := Open(smallConfig())
+	if _, err := sys.Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	// Truncated after the header.
+	var buf bytes.Buffer
+	sys2, _ := Open(smallConfig())
+	sys2.EnrollImage(1, smallTexture(5))
+	sys2.Save(&buf)
+	for _, cut := range []int{5, 7, buf.Len() - 5} {
+		if _, err := sys.Load(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package texid is a large-scale texture identification system on
+// simulated distributed GPUs — a full reproduction of "Exploring HW/SW
+// Co-Optimizations for Accelerating Large-scale Texture Identification on
+// Distributed GPUs" (Wang, Zhang, Li, Lin — ICPP 2021).
+//
+// A texture identification system answers two questions about product
+// surfaces (the paper's application is tea-brick traceability):
+//
+//   - one-to-one verification: do these two images show the same texture?
+//   - one-to-many search: which of up to millions of enrolled reference
+//     textures does this query image show, if any?
+//
+// The pipeline is SIFT local features + 2-nearest-neighbors matching with
+// a ratio test (Fig. 2 of the paper), accelerated by the paper's four
+// HW/SW co-optimizations: a GEMM formulation of 2-NN with a single-pass
+// top-2 scan, FP16 feature storage, reference-matrix batching (with
+// RootSIFT, which eliminates the norm terms), and a hybrid GPU/host FIFO
+// feature cache streamed through multiple CUDA streams. Since no CUDA
+// hardware exists here, devices are provided by a functional-plus-timing
+// GPU simulator: results are computed for real, while performance numbers
+// come from a calibrated device model (see DESIGN.md).
+//
+// Quick start:
+//
+//	sys, err := texid.Open(texid.DefaultConfig())
+//	img := texid.GenerateTexture(42)             // or load your own
+//	err = sys.EnrollImage(1001, img)
+//	res, err := sys.SearchImage(capturedImage)
+//	if res.Accepted { fmt.Println("matched", res.ID) }
+package texid
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"texid/internal/blas"
+	"texid/internal/engine"
+	"texid/internal/gpusim"
+	"texid/internal/sift"
+	"texid/internal/texture"
+)
+
+// Re-exported building blocks, so downstream code can configure the system
+// without reaching into internal packages.
+type (
+	// Image is a grayscale float32 image in [0,1].
+	Image = texture.Image
+	// Features is an extracted SIFT feature set.
+	Features = sift.Features
+	// Keypoint is one SIFT keypoint.
+	Keypoint = sift.Keypoint
+	// DeviceSpec describes a simulated GPU model.
+	DeviceSpec = gpusim.DeviceSpec
+	// EngineConfig is the single-GPU engine configuration.
+	EngineConfig = engine.Config
+	// ExtractorConfig is the SIFT extractor configuration.
+	ExtractorConfig = sift.Config
+)
+
+// Device models.
+var (
+	// TeslaP100 is the paper's primary evaluation GPU.
+	TeslaP100 = gpusim.TeslaP100
+	// TeslaV100 is the secondary GPU; pass true to enable tensor cores.
+	TeslaV100 = gpusim.TeslaV100
+)
+
+// Config configures a single-node System.
+type Config struct {
+	// Extractor configures SIFT; RootSIFT is forced on (the production
+	// pipeline depends on unit-norm features).
+	Extractor sift.Config
+	// Engine configures the device, batching, streams, precision, cache
+	// budgets and match thresholds.
+	Engine engine.Config
+}
+
+// DefaultConfig is the paper's production configuration: RootSIFT features
+// (384 reference / 768 query, Sec. 7), FP16 storage, batch 256, 8 streams
+// on a P100 with a 64 GB host cache.
+func DefaultConfig() Config {
+	ext := sift.DefaultConfig()
+	ext.RootSIFT = true
+	return Config{Extractor: ext, Engine: engine.DefaultConfig()}
+}
+
+// System is a single-node texture identification system: one simulated GPU
+// engine plus a feature extractor.
+type System struct {
+	cfg      Config
+	eng      *engine.Engine
+	refCfg   sift.Config
+	queryCfg sift.Config
+}
+
+// Open builds a System from cfg.
+func Open(cfg Config) (*System, error) {
+	cfg.Extractor.RootSIFT = true
+	eng, err := engine.New(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	refCfg, queryCfg := sift.ExtractAsymmetric(cfg.Extractor,
+		cfg.Engine.RefFeatures, cfg.Engine.QueryFeatures)
+	return &System{cfg: cfg, eng: eng, refCfg: refCfg, queryCfg: queryCfg}, nil
+}
+
+// Engine exposes the underlying engine (stats, device profile).
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// ExtractReference runs the reference-side extractor (m strongest
+// features).
+func (s *System) ExtractReference(im *Image) *Features {
+	return sift.Extract(im, s.refCfg)
+}
+
+// ExtractQuery runs the query-side extractor (n strongest features).
+func (s *System) ExtractQuery(im *Image) *Features {
+	return sift.Extract(im, s.queryCfg)
+}
+
+// EnrollImage extracts reference features from im and enrolls them under
+// id.
+func (s *System) EnrollImage(id int, im *Image) error {
+	f := s.ExtractReference(im)
+	return s.EnrollFeatures(id, f)
+}
+
+// EnrollImages enrolls a batch of reference images, extracting features in
+// parallel across CPUs (extraction dominates enrollment cost; the paper
+// computes reference features offline for the same reason). It stops at
+// the first error, returning how many images were enrolled.
+func (s *System) EnrollImages(images map[int]*Image) (int, error) {
+	ids := make([]int, 0, len(images))
+	for id := range images {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic enrollment (and batch layout)
+
+	feats := make([]*Features, len(ids))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				feats[i] = s.ExtractReference(images[ids[i]])
+			}
+		}()
+	}
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, id := range ids {
+		if err := s.EnrollFeatures(id, feats[i]); err != nil {
+			return i, fmt.Errorf("texid: enrolling %d: %w", id, err)
+		}
+	}
+	return len(ids), nil
+}
+
+// EnrollFeatures enrolls pre-extracted reference features. The feature
+// count must equal the engine's RefFeatures budget; images with too few
+// detected features are rejected (the paper requires ≥ the budget for
+// accuracy).
+func (s *System) EnrollFeatures(id int, f *Features) error {
+	if f.Count() < s.cfg.Engine.RefFeatures {
+		return fmt.Errorf("texid: only %d features extracted, need %d — not enough texture",
+			f.Count(), s.cfg.Engine.RefFeatures)
+	}
+	return s.eng.Add(id, f.Descriptors, f.Keypoints)
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	// ID is the best-matching reference (-1 when the index is empty) and
+	// Accepted whether it cleared the decision threshold.
+	ID       int
+	Score    int
+	Accepted bool
+	// Compared counts reference images matched; ElapsedUS and Speed are
+	// simulated-device timing.
+	Compared  int
+	ElapsedUS float64
+	Speed     float64
+}
+
+// SearchImage extracts query features from im and searches the index.
+func (s *System) SearchImage(im *Image) (*Result, error) {
+	return s.SearchFeatures(s.ExtractQuery(im))
+}
+
+// SearchFeatures searches with pre-extracted query features.
+func (s *System) SearchFeatures(f *Features) (*Result, error) {
+	rep, err := s.eng.Search(f.Descriptors, f.Keypoints)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:        rep.BestID,
+		Score:     rep.Score,
+		Accepted:  rep.Accepted,
+		Compared:  rep.Compared,
+		ElapsedUS: rep.ElapsedUS,
+		Speed:     rep.Speed,
+	}, nil
+}
+
+// VerifyImages answers one-to-one verification: do the two images contain
+// the same texture? It matches them directly (no index involved).
+func (s *System) VerifyImages(a, b *Image) (bool, int, error) {
+	// Enroll a into a throwaway engine-free path: extract reference
+	// features from a, query features from b, and match once.
+	fa := s.ExtractReference(a)
+	fb := s.ExtractQuery(b)
+	return verifyPair(s.cfg.Engine, fa, fb)
+}
+
+// SearchImages answers several queries in one pass through the engine's
+// multi-query GEMM path: higher aggregate throughput, but every query's
+// latency becomes the batch's completion time (the Sec. 5.3 trade-off).
+func (s *System) SearchImages(imgs []*Image) ([]*Result, error) {
+	feats := make([]*blas.Matrix, len(imgs))
+	kps := make([][]sift.Keypoint, len(imgs))
+	for i, im := range imgs {
+		f := s.ExtractQuery(im)
+		feats[i] = f.Descriptors
+		kps[i] = f.Keypoints
+	}
+	br, err := s.eng.SearchBatch(feats, kps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(br.Reports))
+	for i, rep := range br.Reports {
+		out[i] = &Result{
+			ID:        rep.BestID,
+			Score:     rep.Score,
+			Accepted:  rep.Accepted,
+			Compared:  rep.Compared,
+			ElapsedUS: rep.ElapsedUS,
+			Speed:     rep.Speed,
+		}
+	}
+	return out, nil
+}
+
+// Compact rebuilds the reference store, reclaiming the slots left behind
+// by Remove and Update; it returns the number of slots reclaimed.
+func (s *System) Compact() (int, error) { return s.eng.Compact() }
+
+// Remove deletes a reference from the index.
+func (s *System) Remove(id int) bool { return s.eng.Remove(id) }
+
+// Update replaces a reference's features.
+func (s *System) Update(id int, im *Image) error {
+	f := s.ExtractReference(im)
+	if f.Count() < s.cfg.Engine.RefFeatures {
+		return fmt.Errorf("texid: only %d features extracted, need %d",
+			f.Count(), s.cfg.Engine.RefFeatures)
+	}
+	return s.eng.Update(id, f.Descriptors, f.Keypoints)
+}
+
+// Stats returns engine occupancy and capacity.
+func (s *System) Stats() engine.Stats { return s.eng.Stats() }
+
+// ExtractWith runs the SIFT extractor with an explicit configuration,
+// for callers that manage features themselves (e.g. to serialize them
+// with the wire format before talking to a remote cluster).
+func ExtractWith(im *Image, cfg ExtractorConfig) *Features {
+	return sift.Extract(im, cfg)
+}
+
+// GenerateTexture renders the synthetic tea-brick-like reference texture
+// for a seed (the stand-in for the paper's proprietary dataset).
+func GenerateTexture(seed int64) *Image {
+	return texture.Generate(seed, texture.DefaultGenParams())
+}
+
+// CaptureQuery simulates re-photographing a reference texture: a random
+// viewpoint/illumination/noise perturbation at the given difficulty in
+// [0, 1], deterministic in seed.
+func CaptureQuery(ref *Image, seed int64, difficulty float64) *Image {
+	rng := newRand(seed)
+	p := texture.RandomPerturbation(rng, difficulty)
+	return p.Apply(ref)
+}
+
+// verifyPair matches one reference feature set against one query set on a
+// throwaway single-batch engine and applies the decision rule.
+func verifyPair(cfg engine.Config, ref, query *Features) (bool, int, error) {
+	cfg.BatchSize = 1
+	cfg.Streams = 1
+	e, err := engine.New(cfg)
+	if err != nil {
+		return false, 0, err
+	}
+	if ref.Count() < cfg.RefFeatures || query.Count() == 0 {
+		return false, 0, fmt.Errorf("texid: not enough features (%d ref, %d query)", ref.Count(), query.Count())
+	}
+	if err := e.Add(0, trimFeatures(ref, cfg.RefFeatures), ref.Keypoints); err != nil {
+		return false, 0, err
+	}
+	rep, err := e.Search(query.Descriptors, query.Keypoints)
+	if err != nil {
+		return false, 0, err
+	}
+	return rep.Accepted && rep.BestID == 0, rep.Score, nil
+}
+
+// trimFeatures returns the first m descriptor columns (features are
+// already response-ranked by the extractor).
+func trimFeatures(f *Features, m int) *blas.Matrix {
+	if f.Descriptors.Cols == m {
+		return f.Descriptors
+	}
+	return f.Descriptors.Slice(0, m).Clone()
+}
