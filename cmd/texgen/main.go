@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -93,9 +94,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintln(truth, "query,reference")
+	tw := bufio.NewWriter(truth)
+	fmt.Fprintln(tw, "query,reference")
 	for q, ref := range ds.Truth {
-		fmt.Fprintf(truth, "%d,%d\n", q, ref)
+		fmt.Fprintf(tw, "%d,%d\n", q, ref)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
 	}
 	if err := truth.Close(); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,87 @@
+// Command texlint runs texid's project-invariant static-analysis suite.
+//
+//	go run ./cmd/texlint ./...
+//
+// It is stdlib-only and works from a clean checkout with no network
+// access: packages are discovered with go/build and type-checked from
+// source. Diagnostics print as file:line:col: [check] message and any
+// finding makes the exit status non-zero, so scripts/check.sh can use it
+// as a tier-2 gate alongside go vet and the race tests.
+//
+// Checks (see internal/analysis for details):
+//
+//	determinism  no time.Now, global math/rand, or map-ordered output in
+//	             simulator code (internal/gpusim, engine, blas, knn,
+//	             half, cache)
+//	lockcheck    no mutex held across channel ops, time.Sleep, or
+//	             blocking I/O; Lock pairs with defer Unlock on
+//	             early-return paths
+//	errcheck     no silently dropped error returns
+//	streampair   every gpusim kernel launch/async copy is followed by a
+//	             stream sync in the same function
+//	fp16         no raw binary16 conversions or bit-pattern arithmetic
+//	             outside internal/half
+//
+// Suppress a finding with `//texlint:ignore <check> <reason>` on the
+// offending line or in the enclosing declaration's doc comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"texid/internal/analysis"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list packages as they are analyzed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: texlint [-v] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	analyzers := analysis.DefaultAnalyzers()
+	findings := 0
+	for _, pkg := range pkgs {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "texlint: %s\n", pkg.Path)
+		}
+		for _, e := range pkg.TypeErrors {
+			// Type errors degrade analysis quality; surface them but keep
+			// linting what still type-checked.
+			fmt.Fprintf(os.Stderr, "texlint: %s: type error: %v\n", pkg.Path, e)
+		}
+		for _, d := range analysis.Run(pkg, analyzers) {
+			fmt.Println(d.String())
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "texlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "texlint: %v\n", err)
+	os.Exit(2)
+}

@@ -41,7 +41,9 @@ func main() {
 	case "add", "update":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		id := fs.Int("id", 0, "texture id")
-		fs.Parse(args)
+		if err := fs.Parse(args); err != nil {
+			log.Fatal(err)
+		}
 		if fs.NArg() != 1 || *id == 0 {
 			log.Fatalf("usage: texsearch %s -id N image.png", cmd)
 		}
@@ -104,7 +106,9 @@ func main() {
 	case "delete":
 		fs := flag.NewFlagSet("delete", flag.ExitOnError)
 		id := fs.Int("id", 0, "texture id")
-		fs.Parse(args)
+		if err := fs.Parse(args); err != nil {
+			log.Fatal(err)
+		}
 		if *id == 0 {
 			log.Fatal("usage: texsearch delete -id N")
 		}

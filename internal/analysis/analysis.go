@@ -1,0 +1,219 @@
+// Package analysis is texid's project-invariant static-analysis framework.
+// It is deliberately stdlib-only: packages are discovered with go/build
+// (no go/packages dependency), parsed with go/parser, and type-checked
+// with go/types against a recursive source importer, so
+// `go run ./cmd/texlint ./...` works from a clean checkout with no
+// network access.
+//
+// The paper's results depend on a deterministic, calibrated timing model
+// and a concurrent serving stack; the checks here encode the invariants
+// that keep those properties from rotting: no nondeterminism sources in
+// simulator code, no mutexes held across blocking operations, no dropped
+// errors, every kernel launch paired with a stream sync, and no raw
+// binary16 bit-pattern manipulation outside internal/half.
+//
+// Diagnostics may be suppressed with an escape hatch comment:
+//
+//	//texlint:ignore <check>[,<check>...] <reason>
+//
+// A trailing comment suppresses matching diagnostics on its own line; a
+// comment in a declaration's doc group suppresses them for the entire
+// declaration. The reason is mandatory by convention (reviewers treat a
+// bare ignore as a defect); the tool only enforces the check list.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *PackageInfo
+	PkgPath string
+}
+
+// Analyzer is one pluggable check.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Applies reports whether the check runs on the given import path.
+	// A nil Applies runs everywhere.
+	Applies func(pkgPath string) bool
+	// Run inspects one package and returns its findings.
+	Run func(*Pass) []Diagnostic
+}
+
+// Run executes every applicable analyzer over the package, filters
+// suppressed diagnostics, and returns the rest sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Info, PkgPath: pkg.Path}
+	ig := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Path) {
+			continue
+		}
+		for _, d := range a.Run(pass) {
+			if ig.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}
+
+// ignoreIndex records where //texlint:ignore directives apply.
+type ignoreIndex struct {
+	// lines maps filename -> line -> set of ignored check names.
+	lines map[string]map[int]map[string]bool
+	// ranges holds declaration-wide suppressions.
+	ranges []ignoreRange
+	fset   *token.FileSet
+}
+
+type ignoreRange struct {
+	file       string
+	start, end int // line numbers, inclusive
+	checks     map[string]bool
+}
+
+const ignorePrefix = "//texlint:ignore"
+
+// parseIgnore extracts the ignored check set from one comment, or nil.
+func parseIgnore(text string) map[string]bool {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+	// The check list is the first whitespace-delimited field; anything
+	// after it is the human-readable reason.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	checks := make(map[string]bool)
+	for _, c := range strings.Split(fields[0], ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			checks[c] = true
+		}
+	}
+	return checks
+}
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	ig := &ignoreIndex{lines: make(map[string]map[int]map[string]bool), fset: fset}
+	for _, f := range files {
+		// Doc-group directives suppress their whole declaration.
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				if checks := parseIgnore(c.Text); checks != nil {
+					start := fset.Position(decl.Pos())
+					end := fset.Position(decl.End())
+					ig.ranges = append(ig.ranges, ignoreRange{
+						file: start.Filename, start: start.Line, end: end.Line, checks: checks,
+					})
+				}
+			}
+		}
+		// Any directive also suppresses its own line (covers trailing
+		// comments and standalone comments inside function bodies, where
+		// the next line is what they annotate).
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks := parseIgnore(c.Text)
+				if checks == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := ig.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					ig.lines[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					for k := range checks {
+						set[k] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignoreIndex) suppressed(d Diagnostic) bool {
+	if set := ig.lines[d.Pos.Filename][d.Pos.Line]; set[d.Check] {
+		return true
+	}
+	for _, r := range ig.ranges {
+		if r.file == d.Pos.Filename && r.start <= d.Pos.Line && d.Pos.Line <= r.end && r.checks[d.Check] {
+			return true
+		}
+	}
+	return false
+}
+
+// pathMatches reports whether the import path equals or ends with one of
+// the given suffixes (each suffix matched at a path-segment boundary).
+func pathMatches(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ScopedTo returns an Applies predicate for the given path suffixes.
+func ScopedTo(suffixes ...string) func(string) bool {
+	return func(pkgPath string) bool { return pathMatches(pkgPath, suffixes) }
+}
+
+// NotIn returns an Applies predicate excluding the given path suffixes.
+func NotIn(suffixes ...string) func(string) bool {
+	return func(pkgPath string) bool { return !pathMatches(pkgPath, suffixes) }
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NewDeterminism builds the determinism check: simulator code must be
+// reproducible, so it may not read wall-clock time, draw from the global
+// math/rand source, or emit ordered output from map iteration. Seeded
+// *rand.Rand values passed explicitly are allowed (their methods are not
+// package-level functions), as are rand.New/rand.NewSource constructors.
+//
+// scope restricts the check to the simulator packages; nil applies it
+// everywhere (used by the fixture tests).
+func NewDeterminism(scope func(string) bool) *Analyzer {
+	return &Analyzer{
+		Name:    "determinism",
+		Doc:     "no time.Now, global math/rand, or map-ordered output in simulator code",
+		Applies: scope,
+		Run:     runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     pass.Fset.Position(pos),
+			Check:   "determinism",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg, call)
+			if fn == nil {
+				return true
+			}
+			if isPkgFunc(fn, "time", "Now") {
+				report(call.Pos(), "time.Now breaks simulation reproducibility; use the simulated clock or inject the time")
+				return true
+			}
+			pkg := funcPkgPath(fn)
+			if (pkg == "math/rand" || pkg == "math/rand/v2") &&
+				!strings.HasPrefix(fn.Name(), "New") {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+					report(call.Pos(), "%s.%s draws from the global rand source; thread a seeded *rand.Rand instead", pkg, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range funcDecls(pass) {
+		diags = append(diags, mapOrderDiags(pass, fd)...)
+	}
+	return diags
+}
+
+// mapOrderDiags flags range-over-map loops that build ordered output
+// (appends, prints, string concatenation) with no subsequent sort in the
+// same function. Order-insensitive bodies (counting, map-to-map copies)
+// are fine.
+func mapOrderDiags(pass *Pass, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if !buildsOrderedOutput(pass, rng.Body) {
+			return true
+		}
+		if sortedAfter(pass, fd, rng.End()) {
+			return true
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     pass.Fset.Position(rng.Pos()),
+			Check:   "determinism",
+			Message: "map iteration order is random but this loop builds ordered output; sort before emitting",
+		})
+		return true
+	})
+	return diags
+}
+
+// buildsOrderedOutput reports whether the loop body performs an
+// order-sensitive accumulation: append, fmt output, writer calls, or
+// string concatenation.
+func buildsOrderedOutput(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if fn := calleeFunc(pass.Pkg, n); fn != nil {
+				name := fn.Name()
+				if funcPkgPath(fn) == "fmt" && strings.Contains(name, "rint") {
+					found = true
+				}
+				if strings.HasPrefix(name, "Write") {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := pass.Pkg.Info.Types[n.Lhs[0]]; ok && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortedAfter reports whether the function calls a sorting/ranking
+// routine positioned after pos (the idiomatic collect-then-sort pattern).
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, pos token.Pos) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg, call)
+		if fn == nil {
+			return true
+		}
+		if funcPkgPath(fn) == "sort" || funcPkgPath(fn) == "slices" ||
+			strings.Contains(fn.Name(), "Sort") || strings.Contains(fn.Name(), "Rank") {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import "testing"
+
+// Each analyzer is exercised against a fixture package holding a file of
+// violations annotated with `// want "regexp"` comments and a clean file
+// (including a //texlint:ignore use) that must produce no diagnostics.
+
+func TestDeterminismFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewDeterminism(nil), "determinism") {
+		t.Error(err)
+	}
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewLockCheck(), "lockcheck") {
+		t.Error(err)
+	}
+}
+
+func TestErrCheckFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewErrCheck(), "errcheck") {
+		t.Error(err)
+	}
+}
+
+func TestStreamPairFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewStreamPair(), "streampair") {
+		t.Error(err)
+	}
+}
+
+func TestFP16Fixture(t *testing.T) {
+	for _, err := range CheckFixture(NewFP16(), "fp16") {
+		t.Error(err)
+	}
+}
+
+// TestDefaultAnalyzersScope pins the production scoping: the determinism
+// check applies to the simulator packages and not to e.g. cmd/ tools,
+// while fp16 skips internal/half itself.
+func TestDefaultAnalyzersScope(t *testing.T) {
+	byName := map[string]*Analyzer{}
+	for _, a := range DefaultAnalyzers() {
+		byName[a.Name] = a
+	}
+	if len(byName) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(byName))
+	}
+	det := byName["determinism"]
+	if !det.Applies("texid/internal/gpusim") {
+		t.Error("determinism must apply to internal/gpusim")
+	}
+	if det.Applies("texid/cmd/texgen") {
+		t.Error("determinism must not apply to cmd/texgen")
+	}
+	fp := byName["fp16"]
+	if fp.Applies("texid/internal/half") {
+		t.Error("fp16 must not apply to internal/half")
+	}
+	if !fp.Applies("texid/internal/blas") {
+		t.Error("fp16 must apply to internal/blas")
+	}
+}

@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now breaks simulation reproducibility"
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want "math/rand.Float64 draws from the global rand source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle draws from the global rand source"
+}
+
+func appendedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is random"
+		out = append(out, k)
+	}
+	return out
+}
+
+func printedEntries(m map[string]int) {
+	for k, v := range m { // want "map iteration order is random"
+		fmt.Println(k, v)
+	}
+}
+
+func concatenated(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration order is random"
+		s += k
+	}
+	return s
+}

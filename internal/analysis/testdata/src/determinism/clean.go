@@ -1,0 +1,45 @@
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// A seeded generator threaded explicitly is the sanctioned pattern.
+func seededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Collect-then-sort makes the output order-independent.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Order-insensitive accumulation over a map is fine.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Map-to-map copies do not observe iteration order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+//texlint:ignore determinism fixture for the escape hatch: this draw is intentionally unseeded
+func suppressedDraw() float64 {
+	return rand.Float64()
+}

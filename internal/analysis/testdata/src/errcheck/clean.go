@@ -1,0 +1,37 @@
+package fixture
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard() {
+	_ = mayFail()
+}
+
+func deferredCleanup(f *os.File) {
+	defer f.Close()
+}
+
+func exemptWriters(sb *strings.Builder, bw *bufio.Writer) error {
+	fmt.Println("stdout is exempt")
+	fmt.Fprintf(os.Stderr, "stderr is exempt\n")
+	fmt.Fprintf(sb, "in-memory writers are exempt")
+	sb.WriteString("so are their methods")
+	bw.WriteString("bufio errors are sticky")
+	return bw.Flush() // Flush is where the sticky error surfaces; it is checked.
+}
+
+//texlint:ignore errcheck fixture for the escape hatch: this drop is deliberate
+func suppressedDrop() {
+	mayFail()
+}

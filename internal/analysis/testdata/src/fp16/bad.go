@@ -1,0 +1,15 @@
+package fixture
+
+import "texid/internal/half"
+
+func rawConversion(bits uint16) half.Float16 {
+	return half.Float16(bits) // want "conversion writes a raw bit pattern"
+}
+
+func rawAdd(a, b half.Float16) half.Float16 {
+	return a + b // want "native \+ on half.Float16"
+}
+
+func rawScale(a half.Float16) half.Float16 {
+	return a * half.FromFloat32(2) // want "native \* on half.Float16"
+}

@@ -1,0 +1,28 @@
+package fixture
+
+import "texid/internal/half"
+
+func rounded(f float32) half.Float16 {
+	return half.FromFloat32(f)
+}
+
+func roundTrip(f half.Float16) half.Float16 {
+	return half.FromBits(f.Bits())
+}
+
+func accumulate(a, b, acc half.Float16) half.Float16 {
+	return half.FMA(a, b, acc)
+}
+
+func widened(a, b half.Float16) float32 {
+	return a.Float32() + b.Float32()
+}
+
+func compare(a, b half.Float16) bool {
+	return a == b
+}
+
+//texlint:ignore fp16 fixture for the escape hatch: bit-pattern arithmetic on purpose
+func suppressedAdd(a, b half.Float16) half.Float16 {
+	return a + b
+}

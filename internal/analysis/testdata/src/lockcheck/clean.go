@@ -1,0 +1,46 @@
+package fixture
+
+// The blocking work happens outside the critical section, the early
+// return unlocks on its own path, and the goroutine body runs after the
+// caller releases the mutex — none of these may be flagged.
+
+func (c *counter) sendAfterUnlock() {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+func (c *counter) guardedEarlyReturn(cond bool) {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) deferredFastPath(cond bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cond {
+		return 0
+	}
+	return c.n
+}
+
+func (c *counter) goroutineEscapes() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.ch <- 1
+	}()
+}
+
+//texlint:ignore lockcheck fixture for the escape hatch: the send under lock is the point here
+func (c *counter) suppressedSend() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ch <- c.n
+}

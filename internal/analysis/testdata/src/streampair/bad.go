@@ -1,0 +1,18 @@
+package fixture
+
+import "texid/internal/gpusim"
+
+func gemmNoSync(s *gpusim.Stream) {
+	s.Gemm(64, 64, 64, gpusim.FP32, nil) // want "Gemm enqueues async work with no later sync"
+}
+
+func copyNoSync(s *gpusim.Stream) int {
+	s.CopyH2D(1<<20, true, nil) // want "CopyH2D enqueues async work with no later sync"
+	return 0
+}
+
+func chainNoSync(s *gpusim.Stream) {
+	s.Gemm(8, 8, 8, gpusim.FP16, nil)      // want "Gemm enqueues async work with no later sync"
+	s.Top2Scan(8, 8, 1, gpusim.FP16, nil)  // want "Top2Scan enqueues async work with no later sync"
+	s.CopyD2H(4096, false, nil)            // want "CopyD2H enqueues async work with no later sync"
+}

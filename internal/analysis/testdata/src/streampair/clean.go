@@ -1,0 +1,25 @@
+package fixture
+
+import "texid/internal/gpusim"
+
+func gemmThenSynchronize(s *gpusim.Stream) float64 {
+	s.Gemm(64, 64, 64, gpusim.FP32, nil)
+	return s.Device().Synchronize()
+}
+
+func launchesThenTail(s *gpusim.Stream) float64 {
+	s.CopyH2D(1<<20, true, nil)
+	s.Elementwise("scale", 4096, nil)
+	s.CopyD2H(4096, false, nil)
+	return s.TailUS()
+}
+
+func launchThenRecord(s *gpusim.Stream, e *gpusim.Event) {
+	s.Gemm(8, 8, 8, gpusim.FP16, nil)
+	s.Record(e)
+}
+
+//texlint:ignore streampair fixture for the escape hatch: the caller synchronizes the device
+func suppressedLaunch(s *gpusim.Stream) {
+	s.Gemm(8, 8, 8, gpusim.FP32, nil)
+}

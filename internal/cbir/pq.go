@@ -40,8 +40,15 @@ type PQIndex struct {
 }
 
 // TrainPQ learns codebooks from a training sample (dim×n matrix of
-// descriptors) with per-subspace k-means.
+// descriptors) with per-subspace k-means, seeded from cfg.Seed.
 func TrainPQ(train *blas.Matrix, cfg PQConfig) (*PQIndex, error) {
+	return TrainPQRand(train, cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// TrainPQRand is TrainPQ with an explicit generator: k-means seeding and
+// empty-centroid re-seeding draw from rng, so identically seeded
+// generators reproduce the same codebooks bit for bit.
+func TrainPQRand(train *blas.Matrix, cfg PQConfig, rng *rand.Rand) (*PQIndex, error) {
 	if cfg.Subspaces <= 0 || cfg.Centroids <= 1 || cfg.Centroids > 256 {
 		return nil, fmt.Errorf("cbir: invalid PQ config %+v", cfg)
 	}
@@ -52,7 +59,6 @@ func TrainPQ(train *blas.Matrix, cfg PQConfig) (*PQIndex, error) {
 		return nil, fmt.Errorf("cbir: %d training vectors for %d centroids", train.Cols, cfg.Centroids)
 	}
 	ix := &PQIndex{cfg: cfg, dim: train.Rows, subDim: train.Rows / cfg.Subspaces}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	for s := 0; s < cfg.Subspaces; s++ {
 		ix.codebooks = append(ix.codebooks, kmeans(train, s*ix.subDim, ix.subDim, cfg.Centroids, cfg.KMeansIters, rng))
 	}

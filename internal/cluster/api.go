@@ -279,7 +279,9 @@ func decodeRecord(b64 string) (*wire.FeatureRecord, error) {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	// An encode failure here means the client hung up mid-reply; there is
+	// no channel left to report on.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

@@ -43,7 +43,7 @@ func (c *Client) doJSON(method, path string, body any, out any) error {
 		var e struct {
 			Error string `json:"error"`
 		}
-		json.NewDecoder(resp.Body).Decode(&e)
+		_ = json.NewDecoder(resp.Body).Decode(&e) // best-effort detail; resp.Status carries the verdict
 		return fmt.Errorf("cluster: %s %s: %s (%s)", method, path, resp.Status, e.Error)
 	}
 	if out != nil {

@@ -172,7 +172,9 @@ func (c *Cluster) Remove(id int) bool {
 	}
 	removed := c.workers[w].Remove(id)
 	if c.store != nil {
-		c.store.Del(storeKey(id))
+		// Best-effort: a failed delete leaves an orphaned record that the
+		// next enrollment under this id overwrites.
+		_, _ = c.store.Del(storeKey(id))
 	}
 	return removed
 }

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"texid/internal/blas"
+)
+
+// TestClusterConcurrentMixedOps drives the coordinator the way the REST
+// tier does: searches, enrollment churn (add/update/remove), and stats
+// scrapes all at once. Run under -race this is the data-race gate for the
+// serving path; functionally, searches for the stable population must
+// keep resolving while unrelated ids churn.
+func TestClusterConcurrentMixedOps(t *testing.T) {
+	c := smallCluster(t, 3)
+	rng := rand.New(rand.NewSource(70))
+
+	const stable = 6
+	refs := make([]*blas.Matrix, stable)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		if err := c.Add(i, refs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pre-draw every random input: *rand.Rand is not goroutine-safe.
+	queries := make([]*blas.Matrix, stable)
+	for i := range queries {
+		queries[i] = queryFor(rng, refs[i], 32)
+	}
+	const churners, churnOps = 2, 8
+	churn := make([][]*blas.Matrix, churners)
+	for g := range churn {
+		churn[g] = make([]*blas.Matrix, churnOps)
+		for j := range churn[g] {
+			churn[g][j] = unitFeatures(rng, 16, 24)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, stable+churners+1)
+
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				rep, err := c.Search(queries[i], nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.BestID != i {
+					errs <- fmt.Errorf("query %d resolved to %d during churn", i, rep.BestID)
+					return
+				}
+			}
+		}(i)
+	}
+
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := 100 + g*churnOps
+			for j := 0; j < churnOps; j++ {
+				id := base + j
+				if err := c.Add(id, churn[g][j], nil); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Update(id, churn[g][j], nil); err != nil {
+					errs <- err
+					return
+				}
+				if !c.Remove(id) {
+					errs <- fmt.Errorf("churn id %d vanished before Remove", id)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 10; round++ {
+			s := c.Stats()
+			if s.Workers != 3 {
+				errs <- fmt.Errorf("stats reported %d workers", s.Workers)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := c.Stats().References; got != stable {
+		t.Fatalf("after churn drained, %d references remain, want %d", got, stable)
+	}
+}

@@ -32,6 +32,15 @@ const (
 // Max is the largest finite value representable in binary16, as a float32.
 const Max float32 = 65504
 
+// FromBits reinterprets a raw binary16 bit pattern as a Float16. It is
+// the only sanctioned way to materialize a Float16 from integer bits
+// outside this package (serialization round-trips); converting values
+// must go through FromFloat32, which rounds.
+func FromBits(b uint16) Float16 { return Float16(b) }
+
+// Bits returns the raw binary16 bit pattern, for serialization.
+func (f Float16) Bits() uint16 { return uint16(f) }
+
 // FromFloat32 converts a float32 to binary16 with round-to-nearest-even,
 // the rounding mode used by CUDA's __float2half_rn and by cuBLAS HGEMM.
 // Values whose magnitude exceeds 65504 after rounding become ±Inf.

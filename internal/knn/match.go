@@ -29,6 +29,8 @@ func MatchBatch(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]
 
 // matchBaseline models the OpenCV-CUDA path: one monolithic brute-force
 // kernel per reference image (no batching, no GEMM decomposition).
+//
+//texlint:ignore streampair the engine synchronizes the device after issuing every batch
 func matchBaseline(stream *gpusim.Stream, rb *RefBatch, q *Query) ([]Pair2NN, error) {
 	results := make([]Pair2NN, rb.Count())
 	for b := 0; b < rb.Count(); b++ {
@@ -50,6 +52,8 @@ func matchBaseline(stream *gpusim.Stream, rb *RefBatch, q *Query) ([]Pair2NN, er
 // matchEq1 runs Algorithm 1: GEMM, add N_R, sort (insertion or top-2
 // scan), add N_Q + sqrt, D2H. Used by both the Garcia reference variant
 // and the paper's top-2 optimization.
+//
+//texlint:ignore streampair the engine synchronizes the device after issuing every batch
 func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pair2NN, error) {
 	B := rb.Count()
 	m, n, d := rb.M, q.N, rb.D
@@ -130,6 +134,8 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pa
 // matchRootSIFT runs Algorithm 2: with unit-norm RootSIFT features,
 // ρ² = 2 + A where A = -2·RᵀQ, so the pipeline is GEMM plus one fused
 // top-2/sqrt kernel.
+//
+//texlint:ignore streampair the engine synchronizes the device after issuing every batch
 func matchRootSIFT(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pair2NN, error) {
 	B := rb.Count()
 	m, n, d := rb.M, q.N, rb.D

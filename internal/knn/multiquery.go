@@ -18,6 +18,8 @@ import (
 //
 // The result is indexed [query][reference]. Phantom inputs produce empty
 // result shells (timing only).
+//
+//texlint:ignore streampair the engine synchronizes the device after issuing every batch
 func MatchMultiQuery(stream *gpusim.Stream, rb *RefBatch, queries []*Query, opts Options) ([][]Pair2NN, error) {
 	if opts.Algorithm != RootSIFT {
 		return nil, fmt.Errorf("knn: multi-query batching supports the RootSIFT path only, got %v", opts.Algorithm)

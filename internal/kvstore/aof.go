@@ -22,6 +22,8 @@ type aofLog struct {
 
 // append logs one command and flushes it (durability over throughput; the
 // store's write volume is feature enrollments, not a hot path).
+//
+//texlint:ignore lockcheck serializing whole records through the shared writer is this mutex's purpose
 func (a *aofLog) append(args ...[]byte) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -32,11 +34,12 @@ func (a *aofLog) append(args ...[]byte) error {
 	return a.w.Flush()
 }
 
+//texlint:ignore lockcheck the final flush must not interleave with a concurrent append
 func (a *aofLog) close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if err := a.w.Flush(); err != nil {
-		a.f.Close()
+		_ = a.f.Close() // the flush error is the one worth reporting
 		return err
 	}
 	return a.f.Close()
@@ -59,15 +62,16 @@ func OpenAOF(path string) (*Store, error) {
 			}
 			args, err := readCommand(r)
 			if err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, fmt.Errorf("kvstore: corrupt AOF %s: %w", path, err)
 			}
 			if err := s.replay(args); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, fmt.Errorf("kvstore: replaying AOF %s: %w", path, err)
 			}
 		}
-		f.Close()
+		// Close errors are irrelevant for a file only ever read from.
+		_ = f.Close()
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}

@@ -30,6 +30,8 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 // do sends one command and reads its reply.
+//
+//texlint:ignore lockcheck the request/response exchange must be atomic on the shared connection
 func (c *Client) do(args ...[]byte) (reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

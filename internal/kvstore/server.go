@@ -41,7 +41,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	err := s.ln.Close()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // best-effort teardown; the listener error is the one reported
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -58,7 +58,7 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -84,7 +84,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		if !s.dispatch(w, args) {
-			w.Flush()
+			_ = w.Flush() // QUIT reply delivery is best-effort; the conn closes either way
 			return
 		}
 		if err := w.Flush(); err != nil {

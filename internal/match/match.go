@@ -103,23 +103,38 @@ func FilterEdges(cs []Correspondence, queryKps []sift.Keypoint, size int, margin
 // verification. refKps/queryKps may be nil when geometric verification is
 // disabled.
 func PairScore(r knn.Pair2NN, refKps, queryKps []sift.Keypoint, cfg Config) int {
+	return PairScoreRand(r, refKps, queryKps, cfg, nil)
+}
+
+// PairScoreRand is PairScore with an explicit generator for the RANSAC
+// stage. A nil rng falls back to a cfg.Seed-seeded generator.
+func PairScoreRand(r knn.Pair2NN, refKps, queryKps []sift.Keypoint, cfg Config, rng *rand.Rand) int {
 	cs := RatioTest(r, cfg.Ratio)
 	cs = FilterEdges(cs, queryKps, cfg.ImageSize, cfg.EdgeMargin)
 	if !cfg.Geometric || len(cs) < 3 || refKps == nil || queryKps == nil {
 		return len(cs)
 	}
-	inliers := VerifySimilarity(cs, refKps, queryKps, cfg)
-	return inliers
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return VerifySimilarityRand(cs, refKps, queryKps, cfg, rng)
 }
 
 // VerifySimilarity runs RANSAC over a 4-DOF similarity transform
 // (rotation, isotropic scale, translation) mapping reference keypoints to
-// query keypoints, returning the inlier count of the best model.
+// query keypoints, returning the inlier count of the best model. RANSAC
+// sampling is seeded from cfg.Seed.
 func VerifySimilarity(cs []Correspondence, refKps, queryKps []sift.Keypoint, cfg Config) int {
+	return VerifySimilarityRand(cs, refKps, queryKps, cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// VerifySimilarityRand is VerifySimilarity with an explicit generator for
+// the RANSAC pair sampling; identically seeded generators pick the same
+// hypotheses and return the same inlier count.
+func VerifySimilarityRand(cs []Correspondence, refKps, queryKps []sift.Keypoint, cfg Config, rng *rand.Rand) int {
 	if len(cs) < 2 {
 		return 0
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	tol2 := cfg.RANSACTol * cfg.RANSACTol
 	best := 0
 	for iter := 0; iter < cfg.RANSACIters; iter++ {

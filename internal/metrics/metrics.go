@@ -228,7 +228,8 @@ func (r *Registry) Expose() string {
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		fmt.Fprint(w, r.Expose())
+		// A failed scrape write is the scraper's problem, not ours.
+		_, _ = fmt.Fprint(w, r.Expose())
 	})
 }
 

@@ -1,0 +1,36 @@
+package orb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExtractRandReproducible(t *testing.T) {
+	im := testImage(4)
+	cfg := DefaultConfig()
+	a := ExtractRand(im, cfg, rand.New(rand.NewSource(6)))
+	b := ExtractRand(im, cfg, rand.New(rand.NewSource(6)))
+	if a.Count() != b.Count() {
+		t.Fatalf("counts differ: %d vs %d", a.Count(), b.Count())
+	}
+	for i := range a.Codes {
+		if a.Codes[i] != b.Codes[i] {
+			t.Fatal("codes differ between identically seeded generators")
+		}
+	}
+}
+
+func TestExtractMatchesSeededRand(t *testing.T) {
+	im := testImage(5)
+	cfg := DefaultConfig()
+	a := Extract(im, cfg)
+	b := ExtractRand(im, cfg, rand.New(rand.NewSource(cfg.PatternSeed)))
+	if a.Count() != b.Count() {
+		t.Fatalf("counts differ: %d vs %d", a.Count(), b.Count())
+	}
+	for i := range a.Codes {
+		if a.Codes[i] != b.Codes[i] {
+			t.Fatal("Extract must equal ExtractRand with a PatternSeed-seeded generator")
+		}
+	}
+}

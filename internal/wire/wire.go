@@ -69,7 +69,7 @@ func Encode(r *FeatureRecord) []byte {
 		}
 		for j := 0; j < m; j++ {
 			for _, v := range r.Features.Col(j) {
-				b = binary.LittleEndian.AppendUint16(b, uint16(half.FromFloat32(v*scale)))
+				b = binary.LittleEndian.AppendUint16(b, half.FromFloat32(v*scale).Bits())
 			}
 		}
 	} else {
@@ -178,7 +178,7 @@ func Decode(b []byte) (*FeatureRecord, error) {
 		for j := 0; j < m; j++ {
 			col := rec.Features.Col(j)
 			for i := range col {
-				col[i] = half.Float16(r.u16()).Float32() * inv
+				col[i] = half.FromBits(r.u16()).Float32() * inv
 			}
 		}
 	} else {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-2 verification gate: build, vet, project invariants (texlint), and
+# the race-detector test suite. Any diagnostic or failure exits non-zero.
+# Works from a clean checkout with no network access (texlint type-checks
+# against the source importer; nothing is downloaded).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build"
+go build ./...
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> texlint"
+go run ./cmd/texlint ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "OK"
