@@ -89,8 +89,7 @@ func (c *ClusterSystem) SearchImage(im *Image) (*Result, error) {
 func (c *ClusterSystem) SearchImages(imgs []*Image) ([]*Result, error) {
 	feats := make([]*blas.Matrix, len(imgs))
 	kps := make([][]sift.Keypoint, len(imgs))
-	for i, im := range imgs {
-		f := sift.Extract(im, c.queryCfg)
+	for i, f := range sift.ExtractBatch(imgs, c.queryCfg) {
 		feats[i] = f.Descriptors
 		kps[i] = f.Keypoints
 	}

@@ -29,6 +29,11 @@ func main() {
 	experiment := flag.String("experiment", "all",
 		"experiment id: all, "+strings.Join(bench.Experiments, ", "))
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
+	wallclock := flag.Bool("wallclock", false,
+		"run the host wall-clock benchmark suite instead of the simulated-device experiments")
+	count := flag.Int("count", 3, "wall-clock runs per op (best is reported)")
+	outPath := flag.String("out", "", "write the wall-clock report to this JSON file (BENCH_HOST.json)")
+	baselinePath := flag.String("baseline", "", "compare the wall-clock report against this JSON file; exit 1 on >20% ns/op regression")
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "dataset and jitter seed")
 	flag.IntVar(&opts.Refs, "refs", opts.Refs, "reference images for accuracy experiments")
 	flag.IntVar(&opts.Queries, "queries", opts.Queries, "query images for accuracy experiments")
@@ -40,6 +45,11 @@ func main() {
 	flag.Float64Var(&opts.JitterCoV, "jitter", opts.JitterCoV, "cloud-VM jitter CoV for streaming experiments")
 	flag.IntVar(&opts.MinMatches, "min-matches", opts.MinMatches, "identification acceptance threshold for accuracy experiments")
 	flag.Parse()
+
+	if *wallclock {
+		runWallclock(*count, *outPath, *baselinePath)
+		return
+	}
 
 	var ids []string
 	if *experiment == "all" {
@@ -70,4 +80,39 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "ran %d experiment(s) in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+}
+
+// runWallclock runs the host wall-clock suite, optionally writing the
+// report and/or enforcing a regression gate against a committed baseline.
+func runWallclock(count int, outPath, baselinePath string) {
+	start := time.Now()
+	rep := bench.RunHostBench(count)
+	fmt.Printf("%-28s %14s %10s %12s\n", "op", "ns/op", "MB/s", "allocs/op")
+	for _, r := range rep.Results {
+		fmt.Printf("%-28s %14.0f %10.1f %12.1f\n", r.Op, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "wall-clock suite: GOMAXPROCS=%d, best of %d, %s total\n",
+		rep.GOMAXPROCS, count, time.Since(start).Round(time.Millisecond))
+
+	if outPath != "" {
+		if err := rep.WriteFile(outPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadHostReport(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if regs := bench.CompareHostReports(base, rep, 0.20); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", baselinePath)
+	}
 }

@@ -56,7 +56,15 @@ func main() {
 	cfg := sift.DefaultConfig()
 	cfg.MaxFeatures = *maxFeatures
 
-	writeImage := func(path string, im *texture.Image, id int64) {
+	// Extract features for the whole dataset up front (parallel across
+	// images) so the write loop below is pure I/O.
+	var refFeats, queryFeats []*sift.Features
+	if *features {
+		refFeats = sift.ExtractBatch(ds.Refs, cfg)
+		queryFeats = sift.ExtractBatch(ds.Queries, cfg)
+	}
+
+	writeImage := func(path string, im *texture.Image, feats *sift.Features, id int64) {
 		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)
@@ -67,8 +75,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		if *features {
-			feats := sift.Extract(im, cfg)
+		if feats != nil {
 			rec := &wire.FeatureRecord{
 				ID:        id,
 				Precision: gpusim.FP32,
@@ -84,10 +91,18 @@ func main() {
 	}
 
 	for i, im := range ds.Refs {
-		writeImage(filepath.Join(refDir, fmt.Sprintf("ref_%06d.png", i)), im, int64(i))
+		var feats *sift.Features
+		if *features {
+			feats = refFeats[i]
+		}
+		writeImage(filepath.Join(refDir, fmt.Sprintf("ref_%06d.png", i)), im, feats, int64(i))
 	}
 	for q, im := range ds.Queries {
-		writeImage(filepath.Join(queryDir, fmt.Sprintf("query_%04d.png", q)), im, int64(q))
+		var feats *sift.Features
+		if *features {
+			feats = queryFeats[q]
+		}
+		writeImage(filepath.Join(queryDir, fmt.Sprintf("query_%04d.png", q)), im, feats, int64(q))
 	}
 
 	truth, err := os.Create(filepath.Join(*out, "truth.csv"))

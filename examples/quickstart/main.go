@@ -21,15 +21,15 @@ func main() {
 	}
 
 	// Enroll five reference textures (seeded synthetic tea-brick surfaces;
-	// in production these are photos taken at the factory).
+	// in production these are photos taken at the factory). EnrollImages
+	// extracts features for the whole batch in parallel.
 	fmt.Println("enrolling references...")
 	refs := make(map[int]*texid.Image)
 	for id := 1; id <= 5; id++ {
-		img := texid.GenerateTexture(int64(id) * 100)
-		refs[id] = img
-		if err := sys.EnrollImage(id, img); err != nil {
-			log.Fatal(err)
-		}
+		refs[id] = texid.GenerateTexture(int64(id) * 100)
+	}
+	if _, err := sys.EnrollImages(refs); err != nil {
+		log.Fatal(err)
 	}
 
 	// A customer re-photographs texture 3: new viewpoint, different

@@ -32,12 +32,8 @@ func buildAccDataset(opts Options) *accDataset {
 	cfg := sift.DefaultConfig()
 	cfg.MaxFeatures = 0 // keep everything; experiments trim
 	out := &accDataset{truth: ds.Truth, opts: opts}
-	for _, im := range ds.Refs {
-		out.refs = append(out.refs, sift.Extract(im, cfg))
-	}
-	for _, im := range ds.Queries {
-		out.queries = append(out.queries, sift.Extract(im, cfg))
-	}
+	out.refs = sift.ExtractBatch(ds.Refs, cfg)
+	out.queries = sift.ExtractBatch(ds.Queries, cfg)
 	return out
 }
 

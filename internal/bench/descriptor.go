@@ -39,12 +39,8 @@ func AblateDescriptor(opts Options) *Table {
 	siftCfg := sift.DefaultConfig()
 	siftCfg.MaxFeatures = 0
 	siftDS := &accDataset{truth: ds.Truth, opts: opts}
-	for _, im := range ds.Refs {
-		siftDS.refs = append(siftDS.refs, sift.Extract(im, siftCfg))
-	}
-	for _, im := range ds.Queries {
-		siftDS.queries = append(siftDS.queries, sift.Extract(im, siftCfg))
-	}
+	siftDS.refs = sift.ExtractBatch(ds.Refs, siftCfg)
+	siftDS.queries = sift.ExtractBatch(ds.Queries, siftCfg)
 	siftAcc := top1Accuracy(siftDS, m, n, true, knn.Options{
 		Algorithm: knn.RootSIFT, Precision: gpusim.FP32,
 	}, ratio, opts.MinMatches)

@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"texid/internal/blas"
+	"texid/internal/engine"
+	"texid/internal/gpusim"
+	"texid/internal/knn"
+	"texid/internal/match"
+	"texid/internal/sift"
+	"texid/internal/texture"
+)
+
+// The rest of this package measures *simulated* device time: results are
+// exact and deterministic, and "elapsed" means microseconds charged by the
+// calibrated GPU model. This file is the opposite: it measures real host
+// wall-clock time of the CPU kernels that back the simulator (GEMM, blur,
+// extraction, the full search path), so host-side optimizations show up as
+// real speedups. Wall-clock numbers are machine-dependent and live outside
+// the determinism contract — they never feed back into simulated results.
+
+// HostOpResult is one measured host operation.
+type HostOpResult struct {
+	// Op names the operation, e.g. "gemm_tn_768x768x128".
+	Op string `json:"op"`
+	// NsPerOp is the best (minimum) per-iteration wall time across runs.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerSec is the nominal operand traffic divided by NsPerOp.
+	MBPerSec float64 `json:"mb_per_s"`
+	// AllocsPerOp is the mean heap allocations per iteration.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// HostReport is the wall-clock benchmark suite output (BENCH_HOST.json).
+type HostReport struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Results    []HostOpResult `json:"results"`
+}
+
+// measure times f adaptively: iterations grow until one run takes at least
+// minRunTime, and the reported ns/op is the best of count such runs (the
+// usual defense against scheduler noise). Allocations come from the last
+// run's runtime counters.
+func measure(count int, f func()) (nsPerOp, allocsPerOp float64) {
+	const minRunTime = 200 * time.Millisecond
+	f() // warmup: pools, kernel caches, lazy init
+	if count < 1 {
+		count = 1
+	}
+	iters := 1
+	best := 0.0
+	for run := 0; run < count; run++ {
+		for {
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				f()
+			}
+			dur := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			if dur < minRunTime && iters < 1<<20 {
+				// Re-run with more iterations (Go testing's strategy).
+				grow := int(float64(iters) * 1.5 * float64(minRunTime) / float64(dur+1))
+				if grow <= iters {
+					grow = iters * 2
+				}
+				iters = grow
+				continue
+			}
+			ns := float64(dur.Nanoseconds()) / float64(iters)
+			if best == 0 || ns < best {
+				best = ns
+			}
+			allocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+			break
+		}
+	}
+	return best, allocsPerOp
+}
+
+// hostOp is one suite entry: a setup-once closure returning the op body and
+// its nominal bytes moved per iteration.
+type hostOp struct {
+	name  string
+	bytes float64
+	fn    func()
+}
+
+// RunHostBench runs the wall-clock suite, taking the best of count runs per
+// op. The op set covers the host hot paths: the packed GEMM micro-kernel,
+// the FP16 GEMM, the separable blur, full SIFT extraction, steady-state
+// engine search (FP32 and FP16), and the end-to-end extract+search path.
+func RunHostBench(count int) *HostReport {
+	rep := &HostReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, op := range hostOps() {
+		ns, allocs := measure(count, op.fn)
+		rep.Results = append(rep.Results, HostOpResult{
+			Op:          op.Op(),
+			NsPerOp:     ns,
+			MBPerSec:    op.bytes / (ns / 1e9) / (1 << 20),
+			AllocsPerOp: allocs,
+		})
+	}
+	return rep
+}
+
+func (op hostOp) Op() string { return op.name }
+
+func hostOps() []hostOp {
+	var ops []hostOp
+
+	// Packed FP32 GEMM at the paper's similarity-matrix shape.
+	{
+		const m, n, d = 768, 768, 128
+		A := randMatrix(1, d, m)
+		B := randMatrix(2, d, n)
+		C := blas.NewMatrix(m, n)
+		ops = append(ops, hostOp{
+			name:  fmt.Sprintf("gemm_tn_%dx%dx%d", m, n, d),
+			bytes: float64(4 * (m*d + n*d + m*n)),
+			fn:    func() { blas.GemmTN(-2, A, B, 0, C) },
+		})
+	}
+
+	// FP16 GEMM (binary16 rounding chain dominates; staging is pooled).
+	{
+		const m, n, d = 256, 256, 128
+		A, _ := blas.HalfFromMatrix(randMatrix(3, d, m), 1)
+		B, _ := blas.HalfFromMatrix(randMatrix(4, d, n), 1)
+		C := blas.NewMatrix(m, n)
+		ops = append(ops, hostOp{
+			name:  fmt.Sprintf("hgemm_tn_%dx%dx%d", m, n, d),
+			bytes: float64(2*(m*d+n*d) + 4*m*n),
+			fn:    func() { blas.HGemmTN(-2, A, B, blas.AccumFP16, C) },
+		})
+	}
+
+	// Separable Gaussian blur on a pyramid-base-sized image.
+	{
+		p := texture.DefaultGenParams()
+		p.Size = 512
+		im := texture.Generate(11, p)
+		ops = append(ops, hostOp{
+			name:  "blur_512_sigma1.6",
+			bytes: float64(4 * 4 * 512 * 512),
+			fn:    func() { sift.BlurImage(im, 1.6) },
+		})
+	}
+
+	// Full SIFT extraction (pyramid + detect + describe + RootSIFT).
+	{
+		p := texture.DefaultGenParams()
+		p.Size = 128
+		im := texture.Generate(12, p)
+		cfg := sift.DefaultConfig()
+		cfg.RootSIFT = true
+		ops = append(ops, hostOp{
+			name:  "sift_extract_128",
+			bytes: float64(4 * 128 * 128),
+			fn:    func() { sift.Extract(im, cfg) },
+		})
+	}
+
+	// Steady-state engine search and the end-to-end extract+search path.
+	for _, prec := range []gpusim.Precision{gpusim.FP32, gpusim.FP16} {
+		prec := prec
+		eng, queryIm, queryFeats, cfg := searchFixture(prec)
+		bytesPerSearch := float64(searchRefs) * float64(searchM) * 128 * float64(prec.ElemBytes())
+		ops = append(ops, hostOp{
+			name:  "engine_search_steady_" + prec.String(),
+			bytes: bytesPerSearch,
+			fn: func() {
+				if _, err := eng.Search(queryFeats.Descriptors, queryFeats.Keypoints); err != nil {
+					panic(fmt.Sprintf("bench: search: %v", err))
+				}
+			},
+		})
+		if prec == gpusim.FP32 {
+			ops = append(ops, hostOp{
+				name:  "extract_search_e2e",
+				bytes: bytesPerSearch,
+				fn: func() {
+					f := sift.Extract(queryIm, cfg)
+					if _, err := eng.Search(f.Descriptors, f.Keypoints); err != nil {
+						panic(fmt.Sprintf("bench: search: %v", err))
+					}
+				},
+			})
+		}
+	}
+	return ops
+}
+
+const (
+	searchRefs = 16
+	searchM    = 256
+)
+
+// searchFixture builds a small engine with enrolled synthetic references
+// plus one captured query for the steady-state search ops.
+func searchFixture(prec gpusim.Precision) (*engine.Engine, *texture.Image, *sift.Features, sift.Config) {
+	cfg := engine.DefaultConfig()
+	cfg.Precision = prec
+	cfg.Algorithm = knn.RootSIFT
+	cfg.Accum = blas.AccumFP16
+	cfg.BatchSize = 8
+	cfg.Streams = 2
+	cfg.RefFeatures = searchM
+	cfg.QueryFeatures = 768
+	cfg.Match = match.DefaultConfig()
+	eng, err := engine.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: engine: %v", err))
+	}
+
+	p := texture.DefaultGenParams()
+	p.Size = 128
+	ecfg := sift.DefaultConfig()
+	ecfg.RootSIFT = true
+	ims := make([]*texture.Image, searchRefs)
+	for i := range ims {
+		ims[i] = texture.Generate(int64(100+i), p)
+	}
+	for i, f := range sift.ExtractBatch(ims, ecfg) {
+		if err := eng.Add(i, trim(f, searchM, false), f.Keypoints); err != nil {
+			panic(fmt.Sprintf("bench: enroll: %v", err))
+		}
+	}
+
+	rng := rand.New(rand.NewSource(999))
+	queryIm := texture.RandomPerturbation(rng, 0.4).Apply(ims[3])
+	queryFeats := sift.Extract(queryIm, ecfg)
+	return eng, queryIm, queryFeats, ecfg
+}
+
+// randMatrix fills a rows×cols matrix with a deterministic pattern in
+// (-1, 1) — enough variety to defeat any value-dependent shortcuts.
+func randMatrix(seed int64, rows, cols int) *blas.Matrix {
+	m := blas.NewMatrix(rows, cols)
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := range m.Data {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		m.Data[i] = float32(int64(state%2001)-1000) / 1000
+	}
+	return m
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *HostReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadHostReport reads a report written by WriteFile.
+func LoadHostReport(path string) (*HostReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &HostReport{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// CompareHostReports returns one message per op whose ns/op regressed by
+// more than tolerance (e.g. 0.20 = 20%) relative to the baseline. Ops
+// missing from either report are skipped (the suite may grow).
+func CompareHostReports(baseline, current *HostReport, tolerance float64) []string {
+	base := make(map[string]HostOpResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Op] = r
+	}
+	var regressions []string
+	for _, r := range current.Results {
+		b, ok := base[r.Op]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		if ratio > 1+tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, tolerance %.0f%%)",
+					r.Op, r.NsPerOp, b.NsPerOp, ratio, tolerance*100))
+		}
+	}
+	return regressions
+}

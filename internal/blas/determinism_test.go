@@ -1,0 +1,77 @@
+package blas
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// gomaxprocsVariants is the GOMAXPROCS sweep the determinism tests run
+// under: serial, minimal parallelism, and everything the machine has.
+func gomaxprocsVariants() []int {
+	vs := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		vs = append(vs, n)
+	}
+	return vs
+}
+
+// TestGemmTNBitwiseAcrossGOMAXPROCS verifies the deterministic-parallelism
+// contract end to end: the packed kernel must produce bit-identical output
+// regardless of how many workers the pool uses. Odd shapes exercise the
+// micro-kernel tail paths as well as full panels.
+func TestGemmTNBitwiseAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, dims := range [][3]int{{8, 8, 4}, {95, 113, 64}, {256, 192, 128}} {
+		m, n, d := dims[0], dims[1], dims[2]
+		A := randomMatrix(rng, d, m, 1)
+		B := randomMatrix(rng, d, n, 1)
+		var want []float32
+		for _, procs := range gomaxprocsVariants() {
+			runtime.GOMAXPROCS(procs)
+			C := NewMatrix(m, n)
+			GemmTN(-2, A, B, 0, C)
+			if want == nil {
+				want = append([]float32(nil), C.Data...)
+				continue
+			}
+			for i, v := range C.Data {
+				if v != want[i] {
+					t.Fatalf("dims %v GOMAXPROCS=%d: C.Data[%d] = %x, want %x",
+						dims, procs, i, v, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestHGemmTNBitwiseAcrossGOMAXPROCS does the same for the FP16 path, whose
+// host-side staging conversion is also block-parallel.
+func TestHGemmTNBitwiseAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	const m, n, d = 96, 112, 64
+	A, _ := HalfFromMatrix(randomMatrix(rng, d, m, 1), 1)
+	B, _ := HalfFromMatrix(randomMatrix(rng, d, n, 1), 1)
+	for _, accum := range []AccumMode{AccumFP16, AccumFP32} {
+		var want []float32
+		for _, procs := range gomaxprocsVariants() {
+			runtime.GOMAXPROCS(procs)
+			C := NewMatrix(m, n)
+			HGemmTN(-2, A, B, accum, C)
+			if want == nil {
+				want = append([]float32(nil), C.Data...)
+				continue
+			}
+			for i, v := range C.Data {
+				if v != want[i] {
+					t.Fatalf("accum %v GOMAXPROCS=%d: C.Data[%d] = %x, want %x",
+						accum, procs, i, v, want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// AVX2/FMA micro-kernels for GemmTN. See gemm_amd64.go for the dispatch
+// logic and gemm.go for the bitwise-determinism contract: every C element
+// is one sequential FMA chain over l = 0..k-1, so its value depends only
+// on the operand columns — never on tile position, tile width, or which
+// kernel variant computed it.
+
+#include "textflag.h"
+
+// func kern8x8(apack *float32, b *float32, bstride uintptr, c *float32, cstride uintptr, k int64, alpha float32, beta float32, mask *int32)
+//
+// One 8(i)×8(j) tile of C = alpha·AᵀB + beta·C.
+// apack: 8·k floats, apack[l*8+r] = A[l, i0+r] (packed i-panel, zero-padded).
+// b:     pointer to B[0, j0]; the 8 columns are bstride bytes apart.
+// c:     pointer to C[i0, j0]; columns cstride bytes apart.
+// mask:  8 lanes of 0/-1 gating the i-dimension stores (and beta loads) so
+//        partial i-tiles never touch rows past C.Rows.
+// Accumulator Yc holds C[i0..i0+7, j0+c].
+TEXT ·kern8x8(SB), NOSPLIT, $0-64
+	MOVQ apack+0(FP), SI
+	MOVQ b+8(FP), BX
+	MOVQ bstride+16(FP), AX
+	MOVQ k+40(FP), CX
+
+	// 8 B-column base pointers in R8..R15.
+	MOVQ BX, R8
+	LEAQ (R8)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	LEAQ (R10)(AX*1), R11
+	LEAQ (R11)(AX*1), R12
+	LEAQ (R12)(AX*1), R13
+	LEAQ (R13)(AX*1), R14
+	LEAQ (R14)(AX*1), R15
+
+	XORQ DX, DX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+loop8:
+	VMOVUPS (SI), Y8
+	VBROADCASTSS (R8)(DX*1), Y9
+	VFMADD231PS Y9, Y8, Y0
+	VBROADCASTSS (R9)(DX*1), Y10
+	VFMADD231PS Y10, Y8, Y1
+	VBROADCASTSS (R10)(DX*1), Y11
+	VFMADD231PS Y11, Y8, Y2
+	VBROADCASTSS (R11)(DX*1), Y12
+	VFMADD231PS Y12, Y8, Y3
+	VBROADCASTSS (R12)(DX*1), Y13
+	VFMADD231PS Y13, Y8, Y4
+	VBROADCASTSS (R13)(DX*1), Y14
+	VFMADD231PS Y14, Y8, Y5
+	VBROADCASTSS (R14)(DX*1), Y15
+	VFMADD231PS Y15, Y8, Y6
+	VBROADCASTSS (R15)(DX*1), Y9
+	VFMADD231PS Y9, Y8, Y7
+	ADDQ $32, SI
+	ADDQ $4, DX
+	DECQ CX
+	JNZ loop8
+
+	VBROADCASTSS alpha+48(FP), Y8
+	MOVQ mask+56(FP), AX
+	VMOVDQU (AX), Y9
+	MOVQ c+24(FP), DI
+	MOVQ cstride+32(FP), AX
+
+	VXORPS X10, X10, X10
+	VUCOMISS beta+52(FP), X10
+	JNE beta8
+	JP beta8
+
+	// beta == 0: C = alpha·acc, masked store per column.
+	VMULPS Y8, Y0, Y0
+	VMASKMOVPS Y0, Y9, (DI)
+	VMULPS Y8, Y1, Y1
+	VMASKMOVPS Y1, Y9, (DI)(AX*1)
+	LEAQ (DI)(AX*2), DI
+	VMULPS Y8, Y2, Y2
+	VMASKMOVPS Y2, Y9, (DI)
+	VMULPS Y8, Y3, Y3
+	VMASKMOVPS Y3, Y9, (DI)(AX*1)
+	LEAQ (DI)(AX*2), DI
+	VMULPS Y8, Y4, Y4
+	VMASKMOVPS Y4, Y9, (DI)
+	VMULPS Y8, Y5, Y5
+	VMASKMOVPS Y5, Y9, (DI)(AX*1)
+	LEAQ (DI)(AX*2), DI
+	VMULPS Y8, Y6, Y6
+	VMASKMOVPS Y6, Y9, (DI)
+	VMULPS Y8, Y7, Y7
+	VMASKMOVPS Y7, Y9, (DI)(AX*1)
+	VZEROUPPER
+	RET
+
+beta8:
+	// C = alpha·acc + beta·C_old (two rounded products, one rounded add,
+	// matching the generic kernel's formula shape).
+	VBROADCASTSS beta+52(FP), Y10
+	VMASKMOVPS (DI), Y9, Y11
+	VMULPS Y8, Y0, Y0
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y0, Y0
+	VMASKMOVPS Y0, Y9, (DI)
+	VMASKMOVPS (DI)(AX*1), Y9, Y11
+	VMULPS Y8, Y1, Y1
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y1, Y1
+	VMASKMOVPS Y1, Y9, (DI)(AX*1)
+	LEAQ (DI)(AX*2), DI
+	VMASKMOVPS (DI), Y9, Y11
+	VMULPS Y8, Y2, Y2
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y2, Y2
+	VMASKMOVPS Y2, Y9, (DI)
+	VMASKMOVPS (DI)(AX*1), Y9, Y11
+	VMULPS Y8, Y3, Y3
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y3, Y3
+	VMASKMOVPS Y3, Y9, (DI)(AX*1)
+	LEAQ (DI)(AX*2), DI
+	VMASKMOVPS (DI), Y9, Y11
+	VMULPS Y8, Y4, Y4
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y4, Y4
+	VMASKMOVPS Y4, Y9, (DI)
+	VMASKMOVPS (DI)(AX*1), Y9, Y11
+	VMULPS Y8, Y5, Y5
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y5, Y5
+	VMASKMOVPS Y5, Y9, (DI)(AX*1)
+	LEAQ (DI)(AX*2), DI
+	VMASKMOVPS (DI), Y9, Y11
+	VMULPS Y8, Y6, Y6
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y6, Y6
+	VMASKMOVPS Y6, Y9, (DI)
+	VMASKMOVPS (DI)(AX*1), Y9, Y11
+	VMULPS Y8, Y7, Y7
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y7, Y7
+	VMASKMOVPS Y7, Y9, (DI)(AX*1)
+	VZEROUPPER
+	RET
+
+// func kern8x1(apack *float32, b *float32, c *float32, k int64, alpha float32, beta float32, mask *int32)
+//
+// One 8(i)×1(j) tile for j-tail columns: the identical per-element FMA
+// chain as kern8x8, so a column computed here is bitwise equal to the same
+// column computed inside an 8-wide tile.
+TEXT ·kern8x1(SB), NOSPLIT, $0-48
+	MOVQ apack+0(FP), SI
+	MOVQ b+8(FP), BX
+	MOVQ k+24(FP), CX
+	XORQ DX, DX
+	VXORPS Y0, Y0, Y0
+
+loop1:
+	VMOVUPS (SI), Y8
+	VBROADCASTSS (BX)(DX*1), Y9
+	VFMADD231PS Y9, Y8, Y0
+	ADDQ $32, SI
+	ADDQ $4, DX
+	DECQ CX
+	JNZ loop1
+
+	VBROADCASTSS alpha+32(FP), Y8
+	MOVQ mask+40(FP), AX
+	VMOVDQU (AX), Y9
+	MOVQ c+16(FP), DI
+
+	VXORPS X10, X10, X10
+	VUCOMISS beta+36(FP), X10
+	JNE beta1
+	JP beta1
+
+	VMULPS Y8, Y0, Y0
+	VMASKMOVPS Y0, Y9, (DI)
+	VZEROUPPER
+	RET
+
+beta1:
+	VBROADCASTSS beta+36(FP), Y10
+	VMASKMOVPS (DI), Y9, Y11
+	VMULPS Y8, Y0, Y0
+	VMULPS Y10, Y11, Y11
+	VADDPS Y11, Y0, Y0
+	VMASKMOVPS Y0, Y9, (DI)
+	VZEROUPPER
+	RET
+
+// func cpuidx(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidx(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (lo, hi uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, lo+0(FP)
+	MOVL DX, hi+4(FP)
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package blas
+
+// Non-amd64 builds always take the portable kernels in gemm.go.
+const useAVX2 = false
+
+func kern8x8(apack *float32, b *float32, bstride uintptr, c *float32, cstride uintptr, k int64, alpha float32, beta float32, mask *int32) {
+	panic("blas: asm kernel on non-amd64 build")
+}
+
+func kern8x1(apack *float32, b *float32, c *float32, k int64, alpha float32, beta float32, mask *int32) {
+	panic("blas: asm kernel on non-amd64 build")
+}

@@ -48,7 +48,19 @@ func NewHalfMatrix(rows, cols int) *HalfMatrix {
 // scale. It returns the converted matrix and the number of elements that
 // overflowed to ±Inf.
 func HalfFromMatrix(m *Matrix, scale float32) (*HalfMatrix, int) {
-	h := NewHalfMatrix(m.Rows, m.Cols)
+	h := &HalfMatrix{}
+	overflow := HalfFromMatrixInto(m, scale, h)
+	return h, overflow
+}
+
+// HalfFromMatrixInto is HalfFromMatrix converting into h, reusing its
+// backing storage when large enough. It returns the overflow count.
+func HalfFromMatrixInto(m *Matrix, scale float32, h *HalfMatrix) int {
+	if cap(h.Data) < m.Rows*m.Cols {
+		h.Data = make(half.Vector, m.Rows*m.Cols)
+	}
+	h.Rows, h.Cols, h.Stride = m.Rows, m.Cols, m.Rows
+	h.Data = h.Data[:m.Rows*m.Cols]
 	overflow := 0
 	for j := 0; j < m.Cols; j++ {
 		src := m.Col(j)
@@ -61,7 +73,37 @@ func HalfFromMatrix(m *Matrix, scale float32) (*HalfMatrix, int) {
 			dst[i] = x
 		}
 	}
-	return h, overflow
+	return overflow
+}
+
+// ConcatHalfColumnsInto concatenates binary16 matrices column-wise into
+// dst, reusing its backing storage when large enough.
+func ConcatHalfColumnsInto(dst *HalfMatrix, ms ...*HalfMatrix) *HalfMatrix {
+	if len(ms) == 0 {
+		*dst = HalfMatrix{}
+		return dst
+	}
+	rows := ms[0].Rows
+	total := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("blas: concat row mismatch %d != %d", m.Rows, rows))
+		}
+		total += m.Cols
+	}
+	if cap(dst.Data) < rows*total {
+		dst.Data = make(half.Vector, rows*total)
+	}
+	dst.Rows, dst.Cols, dst.Stride = rows, total, rows
+	dst.Data = dst.Data[:rows*total]
+	at := 0
+	for _, m := range ms {
+		for j := 0; j < m.Cols; j++ {
+			copy(dst.Col(at), m.Col(j))
+			at++
+		}
+	}
+	return dst
 }
 
 // Col returns column j as a slice sharing the matrix's storage.
@@ -116,21 +158,50 @@ func HGemmTN(alpha float32, A, B *HalfMatrix, mode AccumMode, C *Matrix) {
 	if C.Rows != A.Cols || C.Cols != B.Cols {
 		panic(fmt.Sprintf("blas: HGemmTN output %dx%d, want %dx%d", C.Rows, C.Cols, A.Cols, B.Cols))
 	}
-	// Widen operands once; the rounding semantics live in the accumulation.
-	aw := A.Float32()
-	bw := B.Float32()
-	parallelColumns(C.Cols, func(j0, j1 int) {
-		for j := j0; j < j1; j++ {
-			bcol := bw.Col(j)
+	m, n, k := A.Cols, B.Cols, A.Rows
+	if m == 0 || n == 0 {
+		return
+	}
+	// Stage both operands into pooled float32 scratch (tight k-stride
+	// columns) instead of allocating full widened matrices per call; the
+	// rounding semantics live entirely in the accumulation below. Every
+	// element is one sequential chain over k inside a fixed 8-column
+	// block, so the output is bitwise independent of GOMAXPROCS.
+	pa, aw := getF32(m * k)
+	defer f32Pool.Put(pa)
+	pb, bw := getF32(n * k)
+	defer f32Pool.Put(pb)
+	widenHalf(A, aw)
+	widenHalf(B, bw)
+	const jBlock = 8
+	Parallel((n+jBlock-1)/jBlock, func(blk int) {
+		for j := blk * jBlock; j < min((blk+1)*jBlock, n); j++ {
+			bcol := bw[j*k : j*k+k]
 			ccol := C.Col(j)
-			for i := 0; i < aw.Cols; i++ {
+			for i := 0; i < m; i++ {
 				var d float32
 				if mode == AccumFP16 {
-					d = dotFP16(aw.Col(i), bcol)
+					d = dotFP16(aw[i*k:i*k+k], bcol)
 				} else {
-					d = dotProductsFP16(aw.Col(i), bcol)
+					d = dotProductsFP16(aw[i*k:i*k+k], bcol)
 				}
 				ccol[i] = alpha * d
+			}
+		}
+	})
+}
+
+// widenHalf stages h into dst as tight k-stride float32 columns:
+// dst[j*k+i] = h[i,j] widened.
+func widenHalf(h *HalfMatrix, dst []float32) {
+	k := h.Rows
+	const wBlock = 32
+	Parallel((h.Cols+wBlock-1)/wBlock, func(b int) {
+		for j := b * wBlock; j < min((b+1)*wBlock, h.Cols); j++ {
+			src := h.Col(j)
+			out := dst[j*k : j*k+k]
+			for i, x := range src {
+				out[i] = x.Float32()
 			}
 		}
 	})
@@ -142,8 +213,12 @@ func HGemmTN(alpha float32, A, B *HalfMatrix, mode AccumMode, C *Matrix) {
 // storage).
 func dotFP16(a, b []float32) float32 {
 	var acc float32
-	for i := range a {
-		acc = roundHalf(acc + roundHalf(a[i]*b[i]))
+	if len(a) == 0 {
+		return 0
+	}
+	b = b[:len(a)] // bounds-check elimination, mirroring dot4
+	for i, av := range a {
+		acc = roundHalf(acc + roundHalf(av*b[i]))
 	}
 	return acc
 }
@@ -152,8 +227,12 @@ func dotFP16(a, b []float32) float32 {
 // float32 (tensor-core style).
 func dotProductsFP16(a, b []float32) float32 {
 	var acc float32
-	for i := range a {
-		acc += roundHalf(a[i] * b[i])
+	if len(a) == 0 {
+		return 0
+	}
+	b = b[:len(a)] // bounds-check elimination, mirroring dot4
+	for i, av := range a {
+		acc += roundHalf(av * b[i])
 	}
 	return acc
 }

@@ -104,19 +104,59 @@ func ConcatColumns(ms ...*Matrix) *Matrix {
 	return out
 }
 
+// ConcatColumnsInto is ConcatColumns reusing dst's backing storage when it
+// is large enough, for callers that rebuild the same concatenation every
+// search (the multi-query batching path). dst is reshaped and returned.
+func ConcatColumnsInto(dst *Matrix, ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		*dst = Matrix{}
+		return dst
+	}
+	rows := ms[0].Rows
+	total := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("blas: ConcatColumns row mismatch %d != %d", m.Rows, rows))
+		}
+		total += m.Cols
+	}
+	if cap(dst.Data) < rows*total {
+		dst.Data = make([]float32, rows*total)
+	}
+	dst.Rows, dst.Cols, dst.Stride = rows, total, rows
+	dst.Data = dst.Data[:rows*total]
+	at := 0
+	for _, m := range ms {
+		for j := 0; j < m.Cols; j++ {
+			copy(dst.Col(at), m.Col(j))
+			at++
+		}
+	}
+	return dst
+}
+
 // SquaredNorms returns the per-column squared L2 norms of A: element j is
 // ‖A_:,j‖². These are the N_R / N_Q vectors of Algorithm 1; storing them as
 // length-m vectors rather than materializing full m×n matrices is the
 // paper's memory-saving trick.
 func SquaredNorms(A *Matrix) []float32 {
-	out := make([]float32, A.Cols)
+	return SquaredNormsInto(A, nil)
+}
+
+// SquaredNormsInto is SquaredNorms writing into dst's backing array when it
+// has the capacity, so steady-state search paths can reuse one buffer.
+func SquaredNormsInto(A *Matrix, dst []float32) []float32 {
+	if cap(dst) < A.Cols {
+		dst = make([]float32, A.Cols)
+	}
+	dst = dst[:A.Cols]
 	for j := 0; j < A.Cols; j++ {
 		col := A.Col(j)
 		var s float32
 		for _, v := range col {
 			s += v * v
 		}
-		out[j] = s
+		dst[j] = s
 	}
-	return out
+	return dst
 }

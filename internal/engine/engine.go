@@ -107,6 +107,14 @@ type Engine struct {
 	pendingMats []*blas.Matrix
 	workspace   int64
 	searches    int
+
+	// Reusable host-side working sets (guarded by mu): the match kernels'
+	// distance matrix and top-2 slabs plus the query staging buffers.
+	// Threading these through the search paths makes steady-state Search
+	// allocation-free on the host hot path (Report.Ranked is the one fresh
+	// allocation, since it escapes to the caller).
+	scratch  knn.Scratch
+	qscratch knn.QueryScratch
 }
 
 // New creates an engine, allocating per-stream device workspace (the

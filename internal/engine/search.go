@@ -49,7 +49,7 @@ func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Rep
 		if queryFeats.Rows != e.cfg.Dim {
 			return nil, fmt.Errorf("engine: query dim %d, want %d", queryFeats.Rows, e.cfg.Dim)
 		}
-		q, err = knn.NewQuery(e.dev, queryFeats, e.cfg.Scale)
+		q, err = knn.NewQueryScratch(e.dev, queryFeats, e.cfg.Scale, &e.qscratch)
 	}
 	if err != nil {
 		return nil, err
@@ -64,16 +64,20 @@ func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Rep
 		Accum:     e.cfg.Accum,
 	}
 
+	report := &Report{BestID: -1}
+	if !phantom {
+		// Ranked escapes to the caller, so it is the one per-search
+		// allocation; size it for every reference up front.
+		report.Ranked = make([]match.SearchResult, 0, len(e.refs))
+	}
+
 	start := e.dev.Synchronize()
 	// Round-robin issue across streams: chunk r of stream s is batch
 	// items[r*S+s]. Interleaving approximates concurrent host threads
-	// while keeping the simulation deterministic.
+	// while keeping the simulation deterministic. Each batch's results
+	// alias e.scratch, so they are scored immediately — before the next
+	// issue reuses the buffers (stream closures run eagerly at enqueue).
 	S := len(e.streams)
-	type issued struct {
-		rb      *knn.RefBatch
-		results []knn.Pair2NN
-	}
-	var all []issued
 	for base := 0; base < len(items); base += S {
 		for s := 0; s < S && base+s < len(items); s++ {
 			it := items[base+s]
@@ -83,20 +87,30 @@ func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Rep
 				// Stream the batch into this stream's staging buffer.
 				stream.CopyH2D(sb.rb.Bytes(), e.cfg.PinnedHost, nil)
 			}
-			res, err := knn.MatchBatch(stream, sb.rb, q, opts)
+			res, err := knn.MatchBatchScratch(stream, sb.rb, q, opts, &e.scratch)
 			if err != nil {
 				return nil, err
 			}
-			all = append(all, issued{rb: sb.rb, results: res})
+			report.Compared += sb.rb.Count()
+			if phantom {
+				continue
+			}
+			// Score every live reference in this batch.
+			for _, pair := range res {
+				public, live := e.uidToPublic[pair.RefID]
+				if !live {
+					continue
+				}
+				meta := e.refs[public]
+				score := match.PairScore(pair, meta.kps, queryKps, e.cfg.Match)
+				report.Ranked = append(report.Ranked, match.SearchResult{RefID: public, Score: score})
+			}
 		}
 	}
 	elapsed := e.dev.Synchronize() - start
 	e.searches++
 
-	report := &Report{BestID: -1, ElapsedUS: elapsed}
-	for _, iss := range all {
-		report.Compared += iss.rb.Count()
-	}
+	report.ElapsedUS = elapsed
 	if elapsed > 0 {
 		report.Speed = float64(report.Compared) / (elapsed * 1e-6)
 	}
@@ -104,18 +118,6 @@ func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Rep
 		return report, nil
 	}
 
-	// Score every live reference.
-	for _, iss := range all {
-		for _, pair := range iss.results {
-			public, live := e.uidToPublic[pair.RefID]
-			if !live {
-				continue
-			}
-			meta := e.refs[public]
-			score := match.PairScore(pair, meta.kps, queryKps, e.cfg.Match)
-			report.Ranked = append(report.Ranked, match.SearchResult{RefID: public, Score: score})
-		}
-	}
 	top, ok := match.Identify(report.Ranked, e.cfg.Match)
 	report.Ranked = match.RankResults(report.Ranked)
 	report.BestID = top.RefID

@@ -70,13 +70,28 @@ func (e *Engine) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoi
 		Accum:     e.cfg.Accum,
 	}
 
+	// Concatenate the query batch once; every reference batch reuses the
+	// same staged operand instead of re-copying it per GEMM.
+	mq, err := knn.BuildMultiQuery(queries, opts.Precision, &e.scratch)
+	if err != nil {
+		return nil, err
+	}
+
+	phantom := queryFeats[0] == nil
+	reports := make([]*Report, len(queries))
+	for qi := range reports {
+		reports[qi] = &Report{BestID: -1}
+		if !phantom {
+			reports[qi].Ranked = make([]match.SearchResult, 0, len(e.refs))
+		}
+	}
+
 	start := e.dev.Synchronize()
 	S := len(e.streams)
-	type issued struct {
-		rb      *knn.RefBatch
-		results [][]knn.Pair2NN
-	}
-	var all []issued
+	// Results alias e.scratch, so each batch is scored before the next
+	// issue reuses the buffers (stream closures run eagerly at enqueue).
+	// Scoring batch-major preserves each query's ranking order: every
+	// query's candidates still arrive in reference-batch order.
 	for base := 0; base < len(items); base += S {
 		for s := 0; s < S && base+s < len(items); s++ {
 			it := items[base+s]
@@ -85,39 +100,37 @@ func (e *Engine) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoi
 			if it.Loc == cache.OnHost {
 				stream.CopyH2D(sb.rb.Bytes(), e.cfg.PinnedHost, nil)
 			}
-			res, err := knn.MatchMultiQuery(stream, sb.rb, queries, opts)
+			res, err := knn.MatchMultiQueryInto(stream, sb.rb, mq, opts, &e.scratch)
 			if err != nil {
 				return nil, err
 			}
-			all = append(all, issued{rb: sb.rb, results: res})
+			for qi, rep := range reports {
+				rep.Compared += sb.rb.Count()
+				if phantom {
+					continue
+				}
+				for _, pair := range res[qi] {
+					public, live := e.uidToPublic[pair.RefID]
+					if !live {
+						continue
+					}
+					meta := e.refs[public]
+					var kps []sift.Keypoint
+					if queryKps != nil && qi < len(queryKps) {
+						kps = queryKps[qi]
+					}
+					score := match.PairScore(pair, meta.kps, kps, e.cfg.Match)
+					rep.Ranked = append(rep.Ranked, match.SearchResult{RefID: public, Score: score})
+				}
+			}
 		}
 	}
 	elapsed := e.dev.Synchronize() - start
 	e.searches += len(queries)
 
 	br := &BatchReport{ElapsedUS: elapsed}
-	phantom := queryFeats[0] == nil
-	for qi := range queries {
-		rep := &Report{BestID: -1, ElapsedUS: elapsed}
-		for _, iss := range all {
-			rep.Compared += iss.rb.Count()
-			if phantom {
-				continue
-			}
-			for _, pair := range iss.results[qi] {
-				public, live := e.uidToPublic[pair.RefID]
-				if !live {
-					continue
-				}
-				meta := e.refs[public]
-				var kps []sift.Keypoint
-				if queryKps != nil && qi < len(queryKps) {
-					kps = queryKps[qi]
-				}
-				score := match.PairScore(pair, meta.kps, kps, e.cfg.Match)
-				rep.Ranked = append(rep.Ranked, match.SearchResult{RefID: public, Score: score})
-			}
-		}
+	for _, rep := range reports {
+		rep.ElapsedUS = elapsed
 		if !phantom {
 			top, ok := match.Identify(rep.Ranked, e.cfg.Match)
 			rep.Ranked = match.RankResults(rep.Ranked)

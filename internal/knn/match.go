@@ -13,6 +13,15 @@ import (
 // stream and returning per-reference results. Phantom inputs produce
 // results with nil slices (timing only).
 func MatchBatch(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pair2NN, error) {
+	return MatchBatchScratch(stream, rb, q, opts, nil)
+}
+
+// MatchBatchScratch is MatchBatch with an optional reusable Scratch: the
+// distance matrix and result slabs come from sc, so steady-state search
+// allocates nothing per batch. Results alias sc and must be consumed
+// before the next call reusing it; a nil sc behaves exactly like
+// MatchBatch.
+func MatchBatchScratch(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, sc *Scratch) ([]Pair2NN, error) {
 	if rb.D != q.D {
 		return nil, fmt.Errorf("knn: dimension mismatch: refs d=%d, query d=%d", rb.D, q.D)
 	}
@@ -20,9 +29,9 @@ func MatchBatch(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]
 	case Baseline:
 		return matchBaseline(stream, rb, q)
 	case Garcia, Eq1Top2:
-		return matchEq1(stream, rb, q, opts)
+		return matchEq1(stream, rb, q, opts, sc)
 	case RootSIFT:
-		return matchRootSIFT(stream, rb, q, opts)
+		return matchRootSIFT(stream, rb, q, opts, sc)
 	}
 	return nil, fmt.Errorf("knn: unknown algorithm %v", opts.Algorithm)
 }
@@ -54,10 +63,11 @@ func matchBaseline(stream *gpusim.Stream, rb *RefBatch, q *Query) ([]Pair2NN, er
 // and the paper's top-2 optimization.
 //
 //texlint:ignore streampair the engine synchronizes the device after issuing every batch
-func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pair2NN, error) {
+func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, sc *Scratch) ([]Pair2NN, error) {
 	B := rb.Count()
 	m, n, d := rb.M, q.N, rb.D
 	prec := opts.Precision
+	phantom := rb.phantom || q.phantom
 	if prec == gpusim.FP16 && rb.F16 == nil && !rb.phantom {
 		return nil, fmt.Errorf("knn: FP16 match on an FP32 reference batch")
 	}
@@ -69,14 +79,16 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pa
 	// per-item top-2 in one closure chain; the timing model charges each
 	// pipeline step separately.
 	var C *blas.Matrix
-	results := make([]Pair2NN, B)
+	results := sc.pairSlab(rb.IDs, n, phantom)
+	if !phantom {
+		C = sc.matrix(B*m, n)
+	}
 
 	// Steps 1-3: norms (amortized/offline for refs, tiny for query) + GEMM.
 	stream.Gemm(B*m, n, d, prec, func() {
-		if rb.phantom || q.phantom {
+		if phantom {
 			return
 		}
-		C = blas.NewMatrix(B*m, n)
 		if prec == gpusim.FP16 {
 			blas.HGemmTN(-2, rb.F16, q.F16, opts.Accum, C)
 			// Undo the feature scale: A holds -2·s²·RᵀQ.
@@ -89,25 +101,22 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pa
 		}
 	})
 
-	// Step 4: add N_R to every row (in-place elementwise pass over C).
-	stream.Elementwise("addNR", 2*int64(B)*int64(m)*int64(n)*int64(prec.ElemBytes()), func() {
-		if C == nil {
-			return
-		}
-		blas.AddRowVector(C, rb.Norms)
-	})
+	// Step 4: add N_R to every row. The device still charges the
+	// elementwise traversal here, but the host-side arithmetic is fused
+	// into the selection pass below (Top2AddRows), which adds N_R on the
+	// fly — one sweep over the m×n block instead of two.
+	stream.Elementwise("addNR", 2*int64(B)*int64(m)*int64(n)*int64(prec.ElemBytes()), nil)
 
-	// Step 5: per-column top-2 selection within each reference block.
+	// Step 5: per-column top-2 selection within each reference block,
+	// with the step-4 row add fused in.
 	sel := func() {
-		if C == nil {
-			for b := 0; b < B; b++ {
-				results[b] = Pair2NN{RefID: rb.IDs[b]}
-			}
+		if phantom {
 			return
 		}
-		for b := 0; b < B; b++ {
-			results[b] = selectTop2Block(rb.IDs[b], C, b*m, (b+1)*m)
-		}
+		blas.Parallel(B, func(b int) {
+			p := &results[b]
+			blas.Top2AddRows(C, rb.Norms, b*m, (b+1)*m, p.Best, p.Second, p.BestIdx)
+		})
 	}
 	if opts.Algorithm == Garcia {
 		stream.InsertionSort(m, n, B, prec, sel)
@@ -117,7 +126,7 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pa
 
 	// Steps 6-7: add N_Q to the two survivors and square-root (fused).
 	stream.Elementwise("addNQ-sqrt", 2*int64(B)*2*int64(n)*int64(prec.ElemBytes()), func() {
-		if C == nil {
+		if phantom {
 			return
 		}
 		for b := 0; b < B; b++ {
@@ -136,19 +145,22 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pa
 // top-2/sqrt kernel.
 //
 //texlint:ignore streampair the engine synchronizes the device after issuing every batch
-func matchRootSIFT(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]Pair2NN, error) {
+func matchRootSIFT(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, sc *Scratch) ([]Pair2NN, error) {
 	B := rb.Count()
 	m, n, d := rb.M, q.N, rb.D
 	prec := opts.Precision
+	phantom := rb.phantom || q.phantom
 
 	var C *blas.Matrix
-	results := make([]Pair2NN, B)
+	results := sc.pairSlab(rb.IDs, n, phantom)
+	if !phantom {
+		C = sc.matrix(B*m, n)
+	}
 
 	stream.Gemm(B*m, n, d, prec, func() {
-		if rb.phantom || q.phantom {
+		if phantom {
 			return
 		}
-		C = blas.NewMatrix(B*m, n)
 		if prec == gpusim.FP16 {
 			blas.HGemmTN(-2, rb.F16, q.F16, opts.Accum, C)
 			inv := 1 / (rb.Scale * q.Scale)
@@ -163,20 +175,17 @@ func matchRootSIFT(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) 
 	// Fused steps 2-3: top-2 per column per block, then sqrt(2 + a) in
 	// registers. Same device cost as the plain top-2 scan.
 	stream.Top2Scan(m, n, B, prec, func() {
-		if C == nil {
-			for b := 0; b < B; b++ {
-				results[b] = Pair2NN{RefID: rb.IDs[b]}
-			}
+		if phantom {
 			return
 		}
-		for b := 0; b < B; b++ {
-			r := selectTop2Block(rb.IDs[b], C, b*m, (b+1)*m)
-			for j := range r.Best {
-				r.Best[j] = sqrt32(2 + r.Best[j])
-				r.Second[j] = sqrt32(2 + r.Second[j])
+		blas.Parallel(B, func(b int) {
+			p := &results[b]
+			blas.Top2AddRows(C, nil, b*m, (b+1)*m, p.Best, p.Second, p.BestIdx)
+			for j := range p.Best {
+				p.Best[j] = sqrt32(2 + p.Best[j])
+				p.Second[j] = sqrt32(2 + p.Second[j])
 			}
-			results[b] = r
-		}
+		})
 	})
 
 	stream.CopyD2H(int64(B)*resultBytes(n, prec), false, nil)

@@ -7,122 +7,143 @@ import (
 	"texid/internal/gpusim"
 )
 
-// MatchMultiQuery extends the batched 2-NN to a *query* batch (the Sec. 5.3
-// trade-off the paper defers): the feature matrices of B_q query images are
-// concatenated column-wise exactly like reference batching, so one GEMM of
-// shape (B_r·m)×(B_q·n) serves every (reference, query) pair. Throughput
-// rises with B_q (more data reuse on the reference operand), but every
-// query now waits for the whole batch — the latency/QoS cost the paper
+// MultiQuery is a prepared column-wise concatenation of a query batch (the
+// Sec. 5.3 trade-off the paper defers): the feature matrices of B_q query
+// images become one d×(B_q·n) operand, so a single GEMM of shape
+// (B_r·m)×(B_q·n) serves every (reference, query) pair. Building it once and
+// reusing it across every reference batch of a search avoids re-copying the
+// query features per batch.
+type MultiQuery struct {
+	queries []*Query
+	n       int // features per query (batch must be rectangular)
+	phantom bool
+	catF32  *blas.Matrix
+	catF16  *blas.HalfMatrix
+}
+
+// BuildMultiQuery validates a query batch and stages its concatenation,
+// reusing sc's concat buffers when sc is non-nil. The result aliases sc (and
+// the queries' matrices) and is valid until sc's next BuildMultiQuery call.
+func BuildMultiQuery(queries []*Query, prec gpusim.Precision, sc *Scratch) (*MultiQuery, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("knn: empty query batch")
+	}
+	mq := &MultiQuery{queries: queries, n: queries[0].N}
+	for i, q := range queries {
+		if q.N != mq.n {
+			return nil, fmt.Errorf("knn: ragged query batch: query %d has %d features, want %d", i, q.N, mq.n)
+		}
+		mq.phantom = mq.phantom || q.phantom
+	}
+	if mq.phantom {
+		return mq, nil
+	}
+	if prec == gpusim.FP16 {
+		qcat := make([]*blas.HalfMatrix, len(queries))
+		for i, q := range queries {
+			qcat[i] = q.F16
+		}
+		if sc == nil {
+			mq.catF16 = blas.ConcatHalfColumnsInto(&blas.HalfMatrix{}, qcat...)
+		} else {
+			mq.catF16 = blas.ConcatHalfColumnsInto(&sc.catF16, qcat...)
+		}
+	} else {
+		qcat := make([]*blas.Matrix, len(queries))
+		for i, q := range queries {
+			qcat[i] = q.F32
+		}
+		if sc == nil {
+			mq.catF32 = blas.ConcatColumnsInto(&blas.Matrix{}, qcat...)
+		} else {
+			mq.catF32 = blas.ConcatColumnsInto(&sc.catF32, qcat...)
+		}
+	}
+	return mq, nil
+}
+
+// MatchMultiQuery runs the multi-query batched 2-NN for one reference batch.
+// Throughput rises with B_q (more data reuse on the reference operand), but
+// every query now waits for the whole batch — the latency/QoS cost the paper
 // mentions. Only the RootSIFT (Algorithm 2) path is supported, matching the
 // production configuration.
 //
 // The result is indexed [query][reference]. Phantom inputs produce empty
 // result shells (timing only).
-//
-//texlint:ignore streampair the engine synchronizes the device after issuing every batch
 func MatchMultiQuery(stream *gpusim.Stream, rb *RefBatch, queries []*Query, opts Options) ([][]Pair2NN, error) {
 	if opts.Algorithm != RootSIFT {
 		return nil, fmt.Errorf("knn: multi-query batching supports the RootSIFT path only, got %v", opts.Algorithm)
 	}
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("knn: empty query batch")
+	mq, err := BuildMultiQuery(queries, opts.Precision, nil)
+	if err != nil {
+		return nil, err
 	}
-	n := queries[0].N
-	for i, q := range queries {
+	return MatchMultiQueryInto(stream, rb, mq, opts, nil)
+}
+
+// MatchMultiQueryInto is MatchMultiQuery against a prepared MultiQuery, with
+// an optional reusable Scratch for the distance matrix and result slabs.
+// Results alias sc (see Scratch) and must be consumed before the next call
+// reusing it.
+//
+//texlint:ignore streampair the engine synchronizes the device after issuing every batch
+func MatchMultiQueryInto(stream *gpusim.Stream, rb *RefBatch, mq *MultiQuery, opts Options, sc *Scratch) ([][]Pair2NN, error) {
+	if opts.Algorithm != RootSIFT {
+		return nil, fmt.Errorf("knn: multi-query batching supports the RootSIFT path only, got %v", opts.Algorithm)
+	}
+	for i, q := range mq.queries {
 		if q.D != rb.D {
 			return nil, fmt.Errorf("knn: query %d dimension %d, refs %d", i, q.D, rb.D)
 		}
-		if q.N != n {
-			return nil, fmt.Errorf("knn: ragged query batch: query %d has %d features, want %d", i, q.N, n)
-		}
 	}
 	B := rb.Count()
-	Bq := len(queries)
-	m, d := rb.M, rb.D
+	Bq := len(mq.queries)
+	m, n, d := rb.M, mq.n, rb.D
 	prec := opts.Precision
-	phantom := rb.phantom
-	for _, q := range queries {
-		phantom = phantom || q.phantom
-	}
+	phantom := rb.phantom || mq.phantom
 
-	results := make([][]Pair2NN, Bq)
+	results := sc.multiSlab(rb.IDs, Bq, n, phantom)
 	var C *blas.Matrix
+	if !phantom {
+		C = sc.matrix(B*m, Bq*n)
+	}
 
 	// One GEMM over the full query concatenation.
 	stream.Gemm(B*m, Bq*n, d, prec, func() {
 		if phantom {
 			return
 		}
-		C = blas.NewMatrix(B*m, Bq*n)
 		if prec == gpusim.FP16 {
-			qcat := make([]*blas.HalfMatrix, Bq)
-			for i, q := range queries {
-				qcat[i] = q.F16
-			}
-			hq := concatHalfColumns(qcat...)
-			blas.HGemmTN(-2, rb.F16, hq, opts.Accum, C)
-			inv := 1 / (rb.Scale * queries[0].Scale)
+			blas.HGemmTN(-2, rb.F16, mq.catF16, opts.Accum, C)
+			inv := 1 / (rb.Scale * mq.queries[0].Scale)
 			for i := range C.Data {
 				C.Data[i] *= inv
 			}
 		} else {
-			qcat := make([]*blas.Matrix, Bq)
-			for i, q := range queries {
-				qcat[i] = q.F32
-			}
-			blas.GemmTN(-2, rb.F32, blas.ConcatColumns(qcat...), 0, C)
+			blas.GemmTN(-2, rb.F32, mq.catF32, 0, C)
 		}
 	})
 
 	// Fused top-2 + sqrt(2+A): B_r·B_q·n selection threads.
 	stream.Top2Scan(m, n*Bq, B, prec, func() {
-		if C == nil {
-			for qi := range results {
-				shells := make([]Pair2NN, B)
-				for b := 0; b < B; b++ {
-					shells[b] = Pair2NN{RefID: rb.IDs[b]}
-				}
-				results[qi] = shells
-			}
+		if phantom {
 			return
 		}
-		for qi := 0; qi < Bq; qi++ {
+		blas.Parallel(Bq, func(qi int) {
 			sub := C.Slice(qi*n, (qi+1)*n)
-			rs := make([]Pair2NN, B)
+			rs := results[qi]
 			for b := 0; b < B; b++ {
-				r := selectTop2Block(rb.IDs[b], sub, b*m, (b+1)*m)
-				for j := range r.Best {
-					r.Best[j] = sqrt32(2 + r.Best[j])
-					r.Second[j] = sqrt32(2 + r.Second[j])
+				p := &rs[b]
+				blas.Top2AddRows(sub, nil, b*m, (b+1)*m, p.Best, p.Second, p.BestIdx)
+				for j := range p.Best {
+					p.Best[j] = sqrt32(2 + p.Best[j])
+					p.Second[j] = sqrt32(2 + p.Second[j])
 				}
-				rs[b] = r
 			}
-			results[qi] = rs
-		}
+		})
 	})
 
 	stream.CopyD2H(int64(B)*int64(Bq)*resultBytes(n, prec), false, nil)
 	stream.HostPost(B*Bq, prec, nil)
 	return results, nil
-}
-
-// concatHalfColumns concatenates binary16 matrices column-wise.
-func concatHalfColumns(ms ...*blas.HalfMatrix) *blas.HalfMatrix {
-	rows := ms[0].Rows
-	total := 0
-	for _, m := range ms {
-		if m.Rows != rows {
-			panic(fmt.Sprintf("knn: concat row mismatch %d != %d", m.Rows, rows))
-		}
-		total += m.Cols
-	}
-	out := blas.NewHalfMatrix(rows, total)
-	at := 0
-	for _, m := range ms {
-		for j := 0; j < m.Cols; j++ {
-			copy(out.Col(at), m.Col(j))
-			at++
-		}
-	}
-	return out
 }

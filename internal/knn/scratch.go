@@ -1,0 +1,176 @@
+package knn
+
+import (
+	"texid/internal/blas"
+	"texid/internal/gpusim"
+)
+
+// Scratch holds the reusable working set of the match kernels: the distance
+// matrix, the per-reference top-2 state, and the multi-query concatenation
+// buffers. Threading one Scratch through MatchBatchScratch /
+// MatchMultiQueryInto makes steady-state search allocation-free on the hot
+// path.
+//
+// A Scratch is not safe for concurrent use; the engine owns one per engine
+// under its mutex. Pair2NN results returned by the *Scratch variants alias
+// the scratch buffers and are only valid until the next call that reuses
+// it — callers must consume (score) each batch's results before issuing
+// the next batch, which is exactly what the engine's incremental scoring
+// loop does.
+type Scratch struct {
+	cbuf   []float32
+	c      blas.Matrix
+	best   []float32
+	second []float32
+	idx    []int32
+	pairs  []Pair2NN
+	multi  [][]Pair2NN
+	catF32 blas.Matrix
+	catF16 blas.HalfMatrix
+}
+
+// matrix returns a rows×cols matrix backed by the scratch buffer (or a
+// fresh allocation when sc is nil). Contents are undefined; callers must
+// fully overwrite it.
+func (sc *Scratch) matrix(rows, cols int) *blas.Matrix {
+	if sc == nil {
+		return blas.NewMatrix(rows, cols)
+	}
+	need := rows * cols
+	if cap(sc.cbuf) < need {
+		sc.cbuf = make([]float32, need)
+	}
+	sc.c = blas.Matrix{Rows: rows, Cols: cols, Stride: rows, Data: sc.cbuf[:need]}
+	return &sc.c
+}
+
+// grow ensures the top-2 slabs can hold cnt result rows of width n.
+func (sc *Scratch) grow(cnt, n int) {
+	if cap(sc.best) < cnt*n {
+		sc.best = make([]float32, cnt*n)
+		sc.second = make([]float32, cnt*n)
+		sc.idx = make([]int32, cnt*n)
+	}
+	sc.best = sc.best[:cnt*n]
+	sc.second = sc.second[:cnt*n]
+	sc.idx = sc.idx[:cnt*n]
+}
+
+// pairSlab returns B result shells. For real matches the Best/Second/
+// BestIdx slices are carved out of the scratch slabs (or freshly allocated
+// when sc is nil); phantom shells carry the reference ID only.
+func (sc *Scratch) pairSlab(ids []int, n int, phantom bool) []Pair2NN {
+	B := len(ids)
+	if sc == nil {
+		pairs := make([]Pair2NN, B)
+		for b, id := range ids {
+			pairs[b].RefID = id
+			if !phantom {
+				pairs[b].Best = make([]float32, n)
+				pairs[b].Second = make([]float32, n)
+				pairs[b].BestIdx = make([]int32, n)
+			}
+		}
+		return pairs
+	}
+	if cap(sc.pairs) < B {
+		sc.pairs = make([]Pair2NN, B)
+	}
+	sc.pairs = sc.pairs[:B]
+	if !phantom {
+		sc.grow(B, n)
+	}
+	for b, id := range ids {
+		if phantom {
+			sc.pairs[b] = Pair2NN{RefID: id}
+			continue
+		}
+		sc.pairs[b] = Pair2NN{
+			RefID:   id,
+			Best:    sc.best[b*n : (b+1)*n : (b+1)*n],
+			Second:  sc.second[b*n : (b+1)*n : (b+1)*n],
+			BestIdx: sc.idx[b*n : (b+1)*n : (b+1)*n],
+		}
+	}
+	return sc.pairs
+}
+
+// multiSlab returns Bq slices of B result shells each, carved from the
+// scratch slabs like pairSlab.
+func (sc *Scratch) multiSlab(ids []int, Bq, n int, phantom bool) [][]Pair2NN {
+	B := len(ids)
+	if sc == nil {
+		out := make([][]Pair2NN, Bq)
+		for qi := range out {
+			out[qi] = (*Scratch)(nil).pairSlab(ids, n, phantom)
+		}
+		return out
+	}
+	if cap(sc.multi) < Bq {
+		sc.multi = make([][]Pair2NN, Bq)
+	}
+	sc.multi = sc.multi[:Bq]
+	if cap(sc.pairs) < Bq*B {
+		sc.pairs = make([]Pair2NN, Bq*B)
+	}
+	sc.pairs = sc.pairs[:Bq*B]
+	if !phantom {
+		sc.grow(Bq*B, n)
+	}
+	for qi := 0; qi < Bq; qi++ {
+		row := sc.pairs[qi*B : (qi+1)*B : (qi+1)*B]
+		for b, id := range ids {
+			if phantom {
+				row[b] = Pair2NN{RefID: id}
+				continue
+			}
+			at := qi*B + b
+			row[b] = Pair2NN{
+				RefID:   id,
+				Best:    sc.best[at*n : (at+1)*n : (at+1)*n],
+				Second:  sc.second[at*n : (at+1)*n : (at+1)*n],
+				BestIdx: sc.idx[at*n : (at+1)*n : (at+1)*n],
+			}
+		}
+		sc.multi[qi] = row
+	}
+	return sc.multi
+}
+
+// QueryScratch recycles the buffers NewQuery stages per search: the squared
+// norm vector, the binary16 conversion, and the Query shell itself. Owned
+// by the engine under its mutex.
+type QueryScratch struct {
+	norms []float32
+	half  blas.HalfMatrix
+	q     Query
+}
+
+// NewQueryScratch is NewQuery staging into qs's buffers; with a nil qs it
+// is identical to NewQuery. The returned Query (and its matrices) alias qs
+// and are valid until the next NewQueryScratch call with the same qs.
+func NewQueryScratch(dev *gpusim.Device, mat *blas.Matrix, scale float32, qs *QueryScratch) (*Query, error) {
+	if qs == nil {
+		return NewQuery(dev, mat, scale)
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	qs.norms = blas.SquaredNormsInto(mat, qs.norms)
+	overflow := blas.HalfFromMatrixInto(mat, scale, &qs.half)
+	qs.q = Query{
+		dev:      dev,
+		N:        mat.Cols,
+		D:        mat.Rows,
+		F32:      mat,
+		F16:      &qs.half,
+		Norms:    qs.norms,
+		Scale:    scale,
+		Overflow: overflow,
+		bytes:    int64(mat.Cols) * int64(mat.Rows) * 6, // fp32 + fp16 copies
+	}
+	if err := dev.Alloc(qs.q.bytes); err != nil {
+		return nil, err
+	}
+	return &qs.q, nil
+}

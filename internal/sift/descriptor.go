@@ -45,6 +45,7 @@ func computeDescriptor(p *pyramid, kp Keypoint) []float32 {
 	var hist [descWidth + 2][descWidth + 2][descBins]float64
 	xi, yi := int(math.Round(ox)), int(math.Round(oy))
 	invGauss := -1.0 / (0.5 * float64(descWidth*descWidth))
+	gw, pix := g.W, g.Pix
 
 	for dy := -radius; dy <= radius; dy++ {
 		for dx := -radius; dx <= radius; dx++ {
@@ -63,8 +64,10 @@ func computeDescriptor(p *pyramid, kp Keypoint) []float32 {
 				continue
 			}
 
-			gx := float64(g.At(x+1, y) - g.At(x-1, y))
-			gy := float64(g.At(x, y+1) - g.At(x, y-1))
+			// Interior pixel (guarded above): read neighbors directly.
+			c := y*gw + x
+			gx := float64(pix[c+1] - pix[c-1])
+			gy := float64(pix[c+gw] - pix[c-gw])
 			mag := math.Sqrt(gx*gx + gy*gy)
 			ang := math.Atan2(gy, gx) - kp.Angle
 			for ang < 0 {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"texid/internal/blas"
 	"texid/internal/texture"
 )
 
@@ -18,52 +19,74 @@ type Keypoint struct {
 }
 
 // detectExtrema finds local extrema of the DoG pyramid, refines them to
-// subpixel accuracy, and filters by contrast and edge response.
+// subpixel accuracy, and filters by contrast and edge response. Each
+// (octave, level) slab scans independently and the per-slab results are
+// concatenated in slab order, so the keypoint list is identical to the
+// sequential scan at any GOMAXPROCS.
 func detectExtrema(p *pyramid, cfg Config) []Keypoint {
-	var kps []Keypoint
-	border := 5
+	const border = 5
 
+	type slab struct{ o, l int }
+	var slabs []slab
 	for o := 0; o < p.nOctaves; o++ {
-		scale := math.Pow(2, float64(o)) * p.coordScale // octave pixel -> original pixel
 		for l := 1; l < len(p.dog[o])-1; l++ {
-			d0 := p.dog[o][l-1]
-			d1 := p.dog[o][l]
-			d2 := p.dog[o][l+1]
-			w, h := d1.W, d1.H
-			for y := border; y < h-border; y++ {
-				for x := border; x < w-border; x++ {
-					v := d1.At(x, y)
-					if math.Abs(float64(v)) < cfg.ContrastThreshold*0.5 {
-						continue
-					}
-					if !isExtremum(d0, d1, d2, x, y, v) {
-						continue
-					}
-					kp, ok := refine(p, o, l, x, y, cfg)
-					if !ok {
-						continue
-					}
-					kp.X *= scale
-					kp.Y *= scale
-					kp.Sigma *= scale
-					kps = append(kps, kp)
+			slabs = append(slabs, slab{o, l})
+		}
+	}
+
+	found := make([][]Keypoint, len(slabs))
+	blas.Parallel(len(slabs), func(si int) {
+		o, l := slabs[si].o, slabs[si].l
+		scale := math.Pow(2, float64(o)) * p.coordScale // octave pixel -> original pixel
+		d0 := p.dog[o][l-1]
+		d1 := p.dog[o][l]
+		d2 := p.dog[o][l+1]
+		w, h := d1.W, d1.H
+		var kps []Keypoint
+		for y := border; y < h-border; y++ {
+			row := d1.Pix[y*w : y*w+w]
+			for x := border; x < w-border; x++ {
+				v := row[x]
+				if math.Abs(float64(v)) < cfg.ContrastThreshold*0.5 {
+					continue
 				}
+				if !isExtremum(d0, d1, d2, x, y, v) {
+					continue
+				}
+				kp, ok := refine(p, o, l, x, y, cfg)
+				if !ok {
+					continue
+				}
+				kp.X *= scale
+				kp.Y *= scale
+				kp.Sigma *= scale
+				kps = append(kps, kp)
 			}
 		}
+		found[si] = kps
+	})
+
+	var kps []Keypoint
+	for _, f := range found {
+		kps = append(kps, f...)
 	}
 	return kps
 }
 
 // isExtremum reports whether d1(x,y)=v is a strict maximum or minimum over
-// its 26 scale-space neighbors.
+// its 26 scale-space neighbors. Callers guarantee (x, y) is at least one
+// pixel inside the image, so neighbors are read without border clamping.
 func isExtremum(d0, d1, d2 *texture.Image, x, y int, v float32) bool {
+	w := d1.W
+	c := y*w + x
 	if v > 0 {
 		for dy := -1; dy <= 1; dy++ {
 			for dx := -1; dx <= 1; dx++ {
-				if d0.At(x+dx, y+dy) >= v || d2.At(x+dx, y+dy) >= v {
+				i := c + dy*w + dx
+				if d0.Pix[i] >= v || d2.Pix[i] >= v {
 					return false
 				}
-				if (dx != 0 || dy != 0) && d1.At(x+dx, y+dy) >= v {
+				if (dx != 0 || dy != 0) && d1.Pix[i] >= v {
 					return false
 				}
 			}
@@ -72,10 +95,11 @@ func isExtremum(d0, d1, d2 *texture.Image, x, y int, v float32) bool {
 	}
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
-			if d0.At(x+dx, y+dy) <= v || d2.At(x+dx, y+dy) <= v {
+			i := c + dy*w + dx
+			if d0.Pix[i] <= v || d2.Pix[i] <= v {
 				return false
 			}
-			if (dx != 0 || dy != 0) && d1.At(x+dx, y+dy) <= v {
+			if (dx != 0 || dy != 0) && d1.Pix[i] <= v {
 				return false
 			}
 		}
@@ -91,20 +115,25 @@ func refine(p *pyramid, o, l, x, y int, cfg Config) (Keypoint, bool) {
 	var dx, dy, ds float64
 	for iter := 0; iter < 5; iter++ {
 		d0, d1, d2 := d[l-1], d[l], d[l+1]
+		// (x, y) stays at least 5 pixels inside the image (guarded below),
+		// so the 3x3x3 stencil reads the pixel buffers directly.
+		w := d1.W
+		c := y*w + x
+		p0, p1, p2 := d0.Pix, d1.Pix, d2.Pix
 
 		// First derivatives (central differences).
-		gx := 0.5 * float64(d1.At(x+1, y)-d1.At(x-1, y))
-		gy := 0.5 * float64(d1.At(x, y+1)-d1.At(x, y-1))
-		gs := 0.5 * float64(d2.At(x, y)-d0.At(x, y))
+		gx := 0.5 * float64(p1[c+1]-p1[c-1])
+		gy := 0.5 * float64(p1[c+w]-p1[c-w])
+		gs := 0.5 * float64(p2[c]-p0[c])
 
 		// Second derivatives.
-		v := float64(d1.At(x, y))
-		hxx := float64(d1.At(x+1, y)) + float64(d1.At(x-1, y)) - 2*v
-		hyy := float64(d1.At(x, y+1)) + float64(d1.At(x, y-1)) - 2*v
-		hss := float64(d2.At(x, y)) + float64(d0.At(x, y)) - 2*v
-		hxy := 0.25 * float64(d1.At(x+1, y+1)-d1.At(x-1, y+1)-d1.At(x+1, y-1)+d1.At(x-1, y-1))
-		hxs := 0.25 * float64(d2.At(x+1, y)-d2.At(x-1, y)-d0.At(x+1, y)+d0.At(x-1, y))
-		hys := 0.25 * float64(d2.At(x, y+1)-d2.At(x, y-1)-d0.At(x, y+1)+d0.At(x, y-1))
+		v := float64(p1[c])
+		hxx := float64(p1[c+1]) + float64(p1[c-1]) - 2*v
+		hyy := float64(p1[c+w]) + float64(p1[c-w]) - 2*v
+		hss := float64(p2[c]) + float64(p0[c]) - 2*v
+		hxy := 0.25 * float64(p1[c+w+1]-p1[c+w-1]-p1[c-w+1]+p1[c-w-1])
+		hxs := 0.25 * float64(p2[c+1]-p2[c-1]-p0[c+1]+p0[c-1])
+		hys := 0.25 * float64(p2[c+w]-p2[c-w]-p0[c+w]+p0[c-w])
 
 		// Solve H·δ = -g with Cramer's rule.
 		det := hxx*(hyy*hss-hys*hys) - hxy*(hxy*hss-hys*hxs) + hxs*(hxy*hys-hyy*hxs)
@@ -154,11 +183,14 @@ func refine(p *pyramid, o, l, x, y int, cfg Config) (Keypoint, bool) {
 // assignOrientations computes the dominant gradient orientation(s) of each
 // keypoint from a 36-bin histogram of gradient angles in a Gaussian-weighted
 // neighborhood (Lowe §5). Peaks within 80% of the maximum spawn additional
-// keypoints, as in the original algorithm.
+// keypoints, as in the original algorithm. Keypoints are independent, so
+// they are processed in parallel and the per-keypoint results concatenated
+// in input order — the output is identical at any GOMAXPROCS.
 func assignOrientations(p *pyramid, kps []Keypoint) []Keypoint {
 	const nbins = 36
-	var out []Keypoint
-	for _, kp := range kps {
+	oriented := make([][]Keypoint, len(kps))
+	blas.Parallel(len(kps), func(ki int) {
+		kp := kps[ki]
 		g := p.gauss[kp.Octave][kp.Level]
 		scale := math.Pow(2, float64(kp.Octave)) * p.coordScale
 		// Keypoint position in octave coordinates.
@@ -173,14 +205,17 @@ func assignOrientations(p *pyramid, kps []Keypoint) []Keypoint {
 		var hist [nbins]float64
 		xi, yi := int(math.Round(ox)), int(math.Round(oy))
 		inv := -0.5 / (sigma * sigma)
+		gw, pix := g.W, g.Pix
 		for dy := -radius; dy <= radius; dy++ {
 			for dx := -radius; dx <= radius; dx++ {
 				x, y := xi+dx, yi+dy
 				if x < 1 || x >= g.W-1 || y < 1 || y >= g.H-1 {
 					continue
 				}
-				gx := float64(g.At(x+1, y) - g.At(x-1, y))
-				gy := float64(g.At(x, y+1) - g.At(x, y-1))
+				// Interior pixel: read neighbors without border clamping.
+				c := y*gw + x
+				gx := float64(pix[c+1] - pix[c-1])
+				gy := float64(pix[c+gw] - pix[c-gw])
 				mag := math.Sqrt(gx*gx + gy*gy)
 				ang := math.Atan2(gy, gx) // [-π, π]
 				w := math.Exp(float64(dx*dx+dy*dy) * inv)
@@ -208,7 +243,7 @@ func assignOrientations(p *pyramid, kps []Keypoint) []Keypoint {
 			}
 		}
 		if maxVal == 0 {
-			continue
+			return
 		}
 		for i := 0; i < nbins; i++ {
 			prev := hist[(i+nbins-1)%nbins]
@@ -224,8 +259,13 @@ func assignOrientations(p *pyramid, kps []Keypoint) []Keypoint {
 			}
 			k := kp
 			k.Angle = angle
-			out = append(out, k)
+			oriented[ki] = append(oriented[ki], k)
 		}
+	})
+
+	var out []Keypoint
+	for _, o := range oriented {
+		out = append(out, o...)
 	}
 	return out
 }

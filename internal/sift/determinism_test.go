@@ -1,0 +1,77 @@
+package sift
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"texid/internal/texture"
+)
+
+// gomaxprocsVariants is the GOMAXPROCS sweep the determinism tests run
+// under: serial, minimal parallelism, and everything the machine has.
+func gomaxprocsVariants() []int {
+	vs := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		vs = append(vs, n)
+	}
+	return vs
+}
+
+// TestExtractBitwiseAcrossGOMAXPROCS verifies that the parallel pyramid,
+// detection, orientation, and descriptor stages keep extraction bitwise
+// reproducible no matter how many workers run the blocks.
+func TestExtractBitwiseAcrossGOMAXPROCS(t *testing.T) {
+	im := testImage(11)
+	cfg := testConfig()
+	cfg.RootSIFT = true
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var want *Features
+	for _, procs := range gomaxprocsVariants() {
+		runtime.GOMAXPROCS(procs)
+		f := Extract(im, cfg)
+		if want == nil {
+			want = f
+			continue
+		}
+		if !reflect.DeepEqual(want.Keypoints, f.Keypoints) {
+			t.Fatalf("GOMAXPROCS=%d: keypoints differ from serial run", procs)
+		}
+		for i, v := range f.Descriptors.Data {
+			if v != want.Descriptors.Data[i] {
+				t.Fatalf("GOMAXPROCS=%d: descriptor word %d = %x, want %x",
+					procs, i, v, want.Descriptors.Data[i])
+			}
+		}
+	}
+}
+
+// TestExtractBatchMatchesExtract verifies that the batched entry point is
+// exactly per-image extraction: same keypoints, same descriptor bits, nil
+// images passed through as nil.
+func TestExtractBatchMatchesExtract(t *testing.T) {
+	cfg := testConfig()
+	ims := []*texture.Image{testImage(21), nil, testImage(22), testImage(23)}
+	got := ExtractBatch(ims, cfg)
+	if len(got) != len(ims) {
+		t.Fatalf("ExtractBatch returned %d entries for %d images", len(got), len(ims))
+	}
+	for i, im := range ims {
+		if im == nil {
+			if got[i] != nil {
+				t.Fatalf("entry %d: non-nil features for nil image", i)
+			}
+			continue
+		}
+		want := Extract(im, cfg)
+		if !reflect.DeepEqual(want.Keypoints, got[i].Keypoints) {
+			t.Fatalf("entry %d: keypoints differ from Extract", i)
+		}
+		for j, v := range got[i].Descriptors.Data {
+			if v != want.Descriptors.Data[j] {
+				t.Fatalf("entry %d: descriptor word %d differs from Extract", i, j)
+			}
+		}
+	}
+}

@@ -68,20 +68,43 @@ func (f *Features) Count() int { return len(f.Keypoints) }
 
 // Extract runs the full SIFT pipeline on im.
 func Extract(im *texture.Image, cfg Config) *Features {
-	p := buildPyramid(im, cfg)
+	a := arenaPool.Get().(*arena)
+	p := buildPyramidArena(a, im, cfg)
 	kps := detectExtrema(p, cfg)
 	kps = assignOrientations(p, kps)
 	kps = topKByResponse(kps, cfg.MaxFeatures)
 
+	// Descriptors are independent per keypoint and each writes its own
+	// column, so compute them in parallel — output is identical at any
+	// GOMAXPROCS.
 	desc := blas.NewMatrix(DescriptorDim, len(kps))
-	for i, kp := range kps {
-		copy(desc.Col(i), computeDescriptor(p, kp))
-	}
+	blas.Parallel(len(kps), func(i int) {
+		copy(desc.Col(i), computeDescriptor(p, kps[i]))
+	})
+	// Descriptors and keypoints never alias pyramid storage, so the levels
+	// can be recycled for the next extraction.
+	p.release(a)
+	arenaPool.Put(a)
 	f := &Features{Descriptors: desc, Keypoints: kps}
 	if cfg.RootSIFT {
 		ApplyRootSIFT(f.Descriptors)
 	}
 	return f
+}
+
+// ExtractBatch runs Extract on every image, processing images concurrently
+// (one worker per image via the blas worker pool). Each image's extraction
+// is fully independent and internally deterministic, so out[i] is bitwise
+// identical to Extract(ims[i], cfg) at any GOMAXPROCS. A nil entry yields a
+// nil entry.
+func ExtractBatch(ims []*texture.Image, cfg Config) []*Features {
+	out := make([]*Features, len(ims))
+	blas.Parallel(len(ims), func(i int) {
+		if ims[i] != nil {
+			out[i] = Extract(ims[i], cfg)
+		}
+	})
+	return out
 }
 
 // ApplyRootSIFT transforms descriptors in place: each column is

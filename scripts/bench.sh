@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-3 (opt-in) wall-clock benchmark gate: runs the host benchmark suite
+# (cmd/texbench -wallclock) and fails if any op's ns/op regressed more than
+# 20% against the committed BENCH_HOST.json baseline.
+#
+#   scripts/bench.sh              # compare against committed baseline
+#   COUNT=5 scripts/bench.sh      # more runs per op (less noise)
+#   UPDATE=1 scripts/bench.sh     # re-measure and update BENCH_HOST.json
+#
+# Wall-clock numbers are machine-dependent: the committed baseline only
+# gates relative regressions on the machine that runs the suite, so treat
+# failures on very different hardware as a signal to re-baseline, not as a
+# hard error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+
+if [[ "${UPDATE:-0}" == 1 || ! -f BENCH_HOST.json ]]; then
+  echo "==> texbench -wallclock (writing BENCH_HOST.json)"
+  go run ./cmd/texbench -wallclock -count "$COUNT" -out BENCH_HOST.json
+else
+  echo "==> texbench -wallclock (vs committed BENCH_HOST.json)"
+  go run ./cmd/texbench -wallclock -count "$COUNT" -baseline BENCH_HOST.json
+fi
+
+echo "OK"

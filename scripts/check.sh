@@ -18,4 +18,10 @@ go run ./cmd/texlint ./...
 echo "==> go test -race"
 go test -race ./...
 
+# Tier 3 (opt-in): wall-clock host benchmarks with a regression gate.
+# Machine-dependent, so not part of the default gate.
+if [[ "${TEXID_BENCH:-0}" == 1 ]]; then
+  scripts/bench.sh
+fi
+
 echo "OK"

@@ -31,9 +31,7 @@ package texid
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"texid/internal/blas"
 	"texid/internal/engine"
@@ -139,27 +137,11 @@ func (s *System) EnrollImages(images map[int]*Image) (int, error) {
 	}
 	sort.Ints(ids) // deterministic enrollment (and batch layout)
 
-	feats := make([]*Features, len(ids))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ids) {
-		workers = len(ids)
+	ims := make([]*Image, len(ids))
+	for i, id := range ids {
+		ims[i] = images[id]
 	}
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				feats[i] = s.ExtractReference(images[ids[i]])
-			}
-		}()
-	}
-	for i := range ids {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	feats := sift.ExtractBatch(ims, s.refCfg)
 
 	for i, id := range ids {
 		if err := s.EnrollFeatures(id, feats[i]); err != nil {
@@ -232,8 +214,7 @@ func (s *System) VerifyImages(a, b *Image) (bool, int, error) {
 func (s *System) SearchImages(imgs []*Image) ([]*Result, error) {
 	feats := make([]*blas.Matrix, len(imgs))
 	kps := make([][]sift.Keypoint, len(imgs))
-	for i, im := range imgs {
-		f := s.ExtractQuery(im)
+	for i, f := range sift.ExtractBatch(imgs, s.queryCfg) {
 		feats[i] = f.Descriptors
 		kps[i] = f.Keypoints
 	}
