@@ -34,6 +34,8 @@ func main() {
 	count := flag.Int("count", 3, "wall-clock runs per op (best is reported)")
 	outPath := flag.String("out", "", "write the wall-clock report to this JSON file (BENCH_HOST.json)")
 	baselinePath := flag.String("baseline", "", "compare the wall-clock report against this JSON file; exit 1 on >20% ns/op regression")
+	validateBaseline := flag.Bool("validate-baseline", false,
+		"parse and validate the -baseline file without running anything; exit 2 if it is missing, malformed, or empty")
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "dataset and jitter seed")
 	flag.IntVar(&opts.Refs, "refs", opts.Refs, "reference images for accuracy experiments")
 	flag.IntVar(&opts.Queries, "queries", opts.Queries, "query images for accuracy experiments")
@@ -45,6 +47,23 @@ func main() {
 	flag.Float64Var(&opts.JitterCoV, "jitter", opts.JitterCoV, "cloud-VM jitter CoV for streaming experiments")
 	flag.IntVar(&opts.MinMatches, "min-matches", opts.MinMatches, "identification acceptance threshold for accuracy experiments")
 	flag.Parse()
+
+	if *validateBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "texbench: -validate-baseline requires -baseline <file>")
+			os.Exit(2)
+		}
+		base, err := bench.LoadHostReport(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "texbench: bad baseline:", err)
+			os.Exit(2)
+		}
+		if len(base.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "texbench: bad baseline: %s contains no op results\n", *baselinePath)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *wallclock {
 		runWallclock(*count, *outPath, *baselinePath)

@@ -1,12 +1,17 @@
 // Command texlint runs texid's project-invariant static-analysis suite.
 //
 //	go run ./cmd/texlint ./...
+//	go run ./cmd/texlint -checks hotalloc,clockdomain ./internal/...
+//	go run ./cmd/texlint -json ./... | jq .
+//	go run ./cmd/texlint -baseline texlint.baseline ./...
+//	go run ./cmd/texlint -fixtures
 //
 // It is stdlib-only and works from a clean checkout with no network
 // access: packages are discovered with go/build and type-checked from
-// source. Diagnostics print as file:line:col: [check] message and any
-// finding makes the exit status non-zero, so scripts/check.sh can use it
-// as a tier-2 gate alongside go vet and the race tests.
+// source. Diagnostics print as file:line:col: [check] message (or as a
+// JSON array with -json) and any finding makes the exit status non-zero,
+// so scripts/check.sh can use it as a tier-2 gate alongside go vet and
+// the race tests.
 //
 // Checks (see internal/analysis for details):
 //
@@ -21,23 +26,48 @@
 //	             stream sync in the same function
 //	fp16         no raw binary16 conversions or bit-pattern arithmetic
 //	             outside internal/half
+//	hotalloc     functions marked //texlint:hotpath, and everything they
+//	             transitively call, must not heap-allocate (flow-aware:
+//	             error paths and cap/len-guarded amortized grows allowed)
+//	clockdomain  nothing reachable from internal/gpusim or from kernel
+//	             payload closures may read the wall clock
+//	aliasret     results of //texlint:scratchalias APIs must not be
+//	             retained across reuse of the same scratch
+//	atomicmix    a variable accessed via sync/atomic anywhere must be
+//	             accessed atomically everywhere
+//	directive    texlint comment hygiene: bare ignores (no reason),
+//	             unknown check names, malformed annotations
 //
 // Suppress a finding with `//texlint:ignore <check> <reason>` on the
-// offending line or in the enclosing declaration's doc comment.
+// offending line or in the enclosing declaration's doc comment; the
+// reason is mandatory. Long-lived, reviewed exceptions live in
+// texlint.baseline (-baseline to apply, -write-baseline to regenerate);
+// stale baseline entries for enabled checks are themselves findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"texid/internal/analysis"
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "list packages as they are analyzed")
+	var (
+		verbose       = flag.Bool("v", false, "list packages as they are analyzed")
+		checksFlag    = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		jsonOut       = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		baselinePath  = flag.String("baseline", "", "filter findings against this baseline file; stale entries are errors")
+		writeBaseline = flag.String("write-baseline", "", "write all findings to this baseline file and exit 0")
+		fixtures      = flag.Bool("fixtures", false, "self-test: run every analyzer against its fixture package and exit")
+	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: texlint [-v] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: texlint [-v] [-checks list] [-json] [-baseline file] [-write-baseline file] [-fixtures] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,6 +80,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *fixtures {
+		os.Exit(runFixtures(root, *verbose))
+	}
+
+	analyzers, err := selectAnalyzers(*checksFlag)
+	if err != nil {
+		fatal(err)
+	}
+
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
 		fatal(err)
@@ -58,9 +98,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	analyzers := analysis.DefaultAnalyzers()
-	findings := 0
 	for _, pkg := range pkgs {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "texlint: %s\n", pkg.Path)
@@ -70,15 +107,141 @@ func main() {
 			// linting what still type-checked.
 			fmt.Fprintf(os.Stderr, "texlint: %s: type error: %v\n", pkg.Path, e)
 		}
-		for _, d := range analysis.Run(pkg, analyzers) {
+	}
+
+	diags := analysis.RunAll(pkgs, analyzers)
+
+	if *writeBaseline != "" {
+		if err := analysis.WriteBaseline(*writeBaseline, diags, root); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "texlint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+
+	var stale []string
+	if *baselinePath != "" {
+		bl, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		diags = bl.Filter(diags, root)
+		enabled := make(map[string]bool, len(analyzers)+1)
+		for _, a := range analyzers {
+			enabled[a.Name] = true
+		}
+		enabled["directive"] = true
+		stale = bl.Stale(enabled)
+	}
+
+	if *jsonOut {
+		emitJSON(diags, stale, *baselinePath)
+	} else {
+		for _, d := range diags {
 			fmt.Println(d.String())
-			findings++
+		}
+		for _, s := range stale {
+			fmt.Printf("%s: stale baseline entry (finding no longer produced): %s\n", *baselinePath, s)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "texlint: %d finding(s)\n", findings)
+	if n := len(diags) + len(stale); n > 0 {
+		fmt.Fprintf(os.Stderr, "texlint: %d finding(s)\n", n)
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves the -checks flag against the default suite.
+func selectAnalyzers(list string) ([]*analysis.Analyzer, error) {
+	all := analysis.DefaultAnalyzers()
+	if list == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(names, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-checks selected no checks")
+	}
+	return out, nil
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func emitJSON(diags []analysis.Diagnostic, stale []string, baselinePath string) {
+	out := make([]jsonDiag, 0, len(diags)+len(stale))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Check: d.Check, Message: d.Message,
+		})
+	}
+	for _, s := range stale {
+		out = append(out, jsonDiag{
+			File: baselinePath, Check: "baseline",
+			Message: "stale baseline entry (finding no longer produced): " + s,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// runFixtures runs every analyzer against its fixture package under
+// internal/analysis/testdata/src/<name> — the same harness the unit tests
+// use — so a modified texlint binary can prove its checks still catch
+// their true positives before being trusted as a gate.
+func runFixtures(root string, verbose bool) int {
+	failures := 0
+	for _, a := range analysis.FixtureAnalyzers() {
+		dir := filepath.Join(root, "internal", "analysis", "testdata", "src", a.Name)
+		if _, err := os.Stat(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "texlint: fixtures: %s: missing fixture package: %v\n", a.Name, err)
+			failures++
+			continue
+		}
+		errs := analysis.CheckFixtureDir(a, dir)
+		if len(errs) == 0 {
+			if verbose {
+				fmt.Fprintf(os.Stderr, "texlint: fixtures: %s ok\n", a.Name)
+			}
+			continue
+		}
+		failures++
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "texlint: fixtures: %s: %v\n", a.Name, err)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "texlint: fixtures: %d analyzer(s) failed self-test\n", failures)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "texlint: fixtures: all analyzers passed self-test")
+	return 0
 }
 
 func fatal(err error) {

@@ -18,8 +18,16 @@
 //
 // A trailing comment suppresses matching diagnostics on its own line; a
 // comment in a declaration's doc group suppresses them for the entire
-// declaration. The reason is mandatory by convention (reviewers treat a
-// bare ignore as a defect); the tool only enforces the check list.
+// declaration. The reason is mandatory: a bare ignore, or one naming an
+// unknown check, is itself reported under the "directive" check.
+//
+// Flow-aware checks (hotalloc, clockdomain, aliasret, atomicmix) follow
+// call chains across packages; they are driven by function annotations:
+//
+//	//texlint:hotpath               — this function and all callees must not allocate
+//	//texlint:coldpath <reason>     — hot-path traversal stops here (reason required)
+//	//texlint:scratchalias          — results alias a reusable scratch; callers are checked
+//	//texlint:clockdomain           — extra root for the wall-clock reachability check
 package analysis
 
 import (
@@ -60,6 +68,23 @@ type Analyzer struct {
 	Applies func(pkgPath string) bool
 	// Run inspects one package and returns its findings.
 	Run func(*Pass) []Diagnostic
+	// RunProgram, if set, makes this a whole-program analyzer: RunAll
+	// invokes it once over the full loaded package set (Run and Applies
+	// are then ignored). Flow-aware checks that follow call chains across
+	// package boundaries live here.
+	RunProgram func(*Program) []Diagnostic
+}
+
+// knownCheckSet returns the check names valid in a //texlint:ignore list.
+// It is derived from the full default suite (not the -checks subset in
+// effect), so selecting a subset never turns existing ignores into
+// unknown-check errors.
+func knownCheckSet() map[string]bool {
+	set := make(map[string]bool)
+	for _, a := range DefaultAnalyzers() {
+		set[a.Name] = true
+	}
+	return set
 }
 
 // Run executes every applicable analyzer over the package, filters

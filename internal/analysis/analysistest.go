@@ -43,14 +43,23 @@ var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
 // CheckFixture runs one analyzer over testdata/src/<fixture> and
 // verifies its diagnostics against the `// want` expectations.
 func CheckFixture(a *Analyzer, fixture string) []error {
-	pkg, err := fixtureLoad(filepath.Join("testdata", "src", fixture))
+	return CheckFixtureDir(a, filepath.Join("testdata", "src", fixture))
+}
+
+// CheckFixtureDir is CheckFixture with an explicit fixture directory; the
+// `texlint -fixtures` self-test mode uses it from outside this package's
+// working directory.
+func CheckFixtureDir(a *Analyzer, dir string) []error {
+	pkg, err := fixtureLoad(dir)
 	if err != nil {
 		return []error{err}
 	}
 	// Widen the scope: fixture packages live outside the production
-	// package set the analyzer is normally restricted to.
-	widened := &Analyzer{Name: a.Name, Doc: a.Doc, Run: a.Run}
-	diags := Run(pkg, []*Analyzer{widened})
+	// package set the analyzer is normally restricted to. Directive
+	// hygiene ("directive" findings from RunAll) is kept: fixtures assert
+	// it with // want comments like any other check.
+	widened := &Analyzer{Name: a.Name, Doc: a.Doc, Run: a.Run, RunProgram: a.RunProgram}
+	diags := RunAll([]*Package{pkg}, []*Analyzer{widened})
 
 	type want struct {
 		re   *regexp.Regexp

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicmix: a variable or struct field accessed through sync/atomic
+// anywhere must be accessed atomically everywhere. Mixing atomic.AddInt64
+// with a plain read is a data race the race detector only catches when the
+// schedule cooperates; this check catches it statically, program-wide
+// (the atomic access and the plain access are usually in different
+// functions, often different files).
+//
+// Wrapper types (atomic.Int64 and friends) make the mix impossible by
+// construction and are the style used in production code; this check
+// covers the residual raw-function usage.
+
+// NewAtomicMix returns the mixed atomic/plain access check.
+func NewAtomicMix() *Analyzer {
+	return &Analyzer{
+		Name:       "atomicmix",
+		Doc:        "variables accessed via sync/atomic must be accessed atomically everywhere",
+		RunProgram: runAtomicMix,
+	}
+}
+
+func runAtomicMix(prog *Program) []Diagnostic {
+	// Pass 1: collect every variable whose address is taken as the first
+	// argument of a sync/atomic function, plus the positions of idents
+	// that appear inside any atomic call (those are the sanctioned uses).
+	atomicTarget := make(map[*types.Var]token.Pos) // var -> one atomic-use site
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || funcPkgPath(fn) != "sync/atomic" {
+					return true
+				}
+				// Sanction every ident inside the call (the &x.f argument
+				// and any value operands).
+				ast.Inspect(call, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						sanctioned[id] = true
+					}
+					return true
+				})
+				if len(call.Args) == 0 {
+					return true
+				}
+				if v := addressedVar(pkg, call.Args[0]); v != nil {
+					if _, ok := atomicTarget[v]; !ok {
+						atomicTarget[v] = call.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicTarget) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those variables is a plain (racy) access.
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id] {
+					return true
+				}
+				v, ok := pkg.Info.Info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				first, ok := atomicTarget[v]
+				if !ok {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:   prog.Fset.Position(id.Pos()),
+					Check: "atomicmix",
+					Message: fmt.Sprintf("%s is accessed with sync/atomic at %s but plainly here; every access must be atomic",
+						v.Name(), prog.Fset.Position(first)),
+				})
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// addressedVar resolves &x or &x.f to the variable or field being
+// addressed, or nil.
+func addressedVar(pkg *Package, arg ast.Expr) *types.Var {
+	ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	switch x := ast.Unparen(ue.X).(type) {
+	case *ast.Ident:
+		v, _ := pkg.Info.Info.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pkg.Info.Info.Uses[x.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Control-flow graphs, built without golang.org/x/tools: enough structure
+// to answer the one flow question the allocation checks need — "does every
+// path from this statement end in an error return or a panic?" — so that
+// cold error-handling blocks (where fmt.Errorf may allocate freely) are
+// distinguished from the steady-state path (where nothing may).
+
+// Block is one basic block: a run of statements with a single entry and a
+// set of successor blocks. A block that ends the function records its
+// terminator (return, panic, or similar).
+type Block struct {
+	Stmts []ast.Stmt
+	Succs []*Block
+	// Term is the statement that leaves the function from this block
+	// (a *ast.ReturnStmt or an ast.Stmt wrapping panic/os.Exit), or nil.
+	Term ast.Stmt
+}
+
+// CFG is the intra-procedural control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+	// blockOf locates the basic block holding each statement, at any
+	// nesting depth.
+	blockOf map[ast.Stmt]*Block
+	// irreducible is set when the body uses goto or an unresolvable
+	// labeled branch; flow-sensitive refinements must then be skipped.
+	irreducible bool
+}
+
+// BuildCFG constructs the CFG of a function body. It is deliberately
+// conservative: unsupported control flow (goto) marks the graph
+// irreducible rather than producing wrong edges.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{blockOf: make(map[ast.Stmt]*Block)}
+	b := &cfgBuilder{g: g, labels: make(map[string]loopTargets)}
+	g.Entry = b.newBlock()
+	exit := b.buildList(body.List, g.Entry)
+	_ = exit
+	return g
+}
+
+type loopTargets struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	loops  []loopTargets
+	labels map[string]loopTargets
+	// pendingLabel names the label attached to the next loop statement.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) add(blk *Block, s ast.Stmt) {
+	blk.Stmts = append(blk.Stmts, s)
+	b.g.blockOf[s] = blk
+}
+
+// buildList threads a statement list through cur, returning the block where
+// control continues afterwards (nil when every path has left the function).
+func (b *cfgBuilder) buildList(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminator: park it in its own
+			// disconnected block so blockOf stays total.
+			cur = b.newBlock()
+		}
+		cur = b.buildStmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) buildStmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		b.add(cur, s)
+		cur.Term = s
+		return nil
+	case *ast.ExprStmt:
+		b.add(cur, s)
+		if isNoReturnCall(s.X) {
+			cur.Term = s
+			return nil
+		}
+		return cur
+	case *ast.BlockStmt:
+		b.add(cur, s)
+		return b.buildList(s.List, cur)
+	case *ast.IfStmt:
+		b.add(cur, s)
+		thenB := b.newBlock()
+		cur.Succs = append(cur.Succs, thenB)
+		thenExit := b.buildList(s.Body.List, thenB)
+		var elseExit *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			elseB := b.newBlock()
+			cur.Succs = append(cur.Succs, elseB)
+			elseExit = b.buildStmt(s.Else, elseB)
+		}
+		join := b.newBlock()
+		if !hasElse {
+			cur.Succs = append(cur.Succs, join)
+		}
+		if thenExit != nil {
+			thenExit.Succs = append(thenExit.Succs, join)
+		}
+		if elseExit != nil {
+			elseExit.Succs = append(elseExit.Succs, join)
+		}
+		return join
+	case *ast.ForStmt:
+		return b.buildLoop(s, s.Body, s.Cond != nil || s.Init != nil || s.Post != nil)
+	case *ast.RangeStmt:
+		return b.buildLoop(s, s.Body, true)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.buildSwitch(s, cur)
+	case *ast.LabeledStmt:
+		b.add(cur, s)
+		b.pendingLabel = s.Label.Name
+		next := b.buildStmt(s.Stmt, cur)
+		b.pendingLabel = ""
+		return next
+	case *ast.BranchStmt:
+		b.add(cur, s)
+		switch s.Tok {
+		case token.GOTO:
+			b.g.irreducible = true
+			return nil
+		case token.BREAK, token.CONTINUE:
+			var t loopTargets
+			ok := false
+			if s.Label != nil {
+				t, ok = b.labels[s.Label.Name]
+			} else if len(b.loops) > 0 {
+				t, ok = b.loops[len(b.loops)-1], true
+			}
+			if !ok {
+				// break/continue inside a switch with no loop context, or
+				// an unknown label: treat conservatively.
+				b.g.irreducible = true
+				return nil
+			}
+			if s.Tok == token.BREAK {
+				cur.Succs = append(cur.Succs, t.brk)
+			} else {
+				cur.Succs = append(cur.Succs, t.cont)
+			}
+			return nil
+		case token.FALLTHROUGH:
+			// Handled structurally by buildSwitch (the next case body is a
+			// successor); nothing to do here.
+			return cur
+		}
+		return cur
+	default:
+		b.add(cur, s)
+		return cur
+	}
+}
+
+// buildLoop wires head -> {body, after}; the body loops back to head.
+// hasExit reports whether the loop can terminate via its condition (a bare
+// `for {}` exits only through break/return).
+func (b *cfgBuilder) buildLoop(s ast.Stmt, body *ast.BlockStmt, hasExit bool) *Block {
+	head := b.newBlock()
+	b.add(head, s)
+	after := b.newBlock()
+	bodyB := b.newBlock()
+	head.Succs = append(head.Succs, bodyB)
+	if hasExit {
+		head.Succs = append(head.Succs, after)
+	}
+	t := loopTargets{brk: after, cont: head}
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = t
+		b.pendingLabel = ""
+	}
+	b.loops = append(b.loops, t)
+	bodyExit := b.buildList(body.List, bodyB)
+	b.loops = b.loops[:len(b.loops)-1]
+	if bodyExit != nil {
+		bodyExit.Succs = append(bodyExit.Succs, head)
+	}
+	return after
+}
+
+func (b *cfgBuilder) buildSwitch(s ast.Stmt, cur *Block) *Block {
+	b.add(cur, s)
+	join := b.newBlock()
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	t := loopTargets{brk: join, cont: join}
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = t
+		b.pendingLabel = ""
+	}
+	hasDefault := false
+	var caseBlocks []*Block
+	var caseBodies [][]ast.Stmt
+	for _, cs := range body.List {
+		blk := b.newBlock()
+		cur.Succs = append(cur.Succs, blk)
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			b.add(blk, cs)
+			if cs.List == nil {
+				hasDefault = true
+			}
+			caseBlocks = append(caseBlocks, blk)
+			caseBodies = append(caseBodies, cs.Body)
+		case *ast.CommClause:
+			b.add(blk, cs)
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+			caseBlocks = append(caseBlocks, blk)
+			caseBodies = append(caseBodies, cs.Body)
+		}
+	}
+	// Build case bodies with `break` targeting the join. fallthrough is
+	// over-approximated: each case exit also reaches the join.
+	b.loops = append(b.loops, loopTargets{brk: join, cont: join})
+	for i, blk := range caseBlocks {
+		if exit := b.buildList(caseBodies[i], blk); exit != nil {
+			exit.Succs = append(exit.Succs, join)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if _, isSelect := s.(*ast.SelectStmt); !hasDefault || isSelect {
+		// A switch without default (or any select) can skip every case.
+		cur.Succs = append(cur.Succs, join)
+	}
+	return join
+}
+
+// isNoReturnCall reports whether the expression is a call that never
+// returns: panic, os.Exit, log.Fatal*, runtime.Goexit.
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+				return true
+			case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ColdStmts returns the set of statements from which every path leaves the
+// function through an error return or a panic — the cold error-handling
+// region where allocation is tolerated. On an irreducible graph it returns
+// an empty set (maximally conservative).
+func (g *CFG) ColdStmts(info *PackageInfo) map[ast.Stmt]bool {
+	out := make(map[ast.Stmt]bool)
+	if g.irreducible {
+		return out
+	}
+	state := make(map[*Block]int) // 0 unvisited, 1 in progress, 2 cold, 3 warm
+	var cold func(b *Block) bool
+	cold = func(b *Block) bool {
+		switch state[b] {
+		case 1, 3:
+			return false // cycles and known-warm blocks are warm
+		case 2:
+			return true
+		}
+		state[b] = 1
+		res := false
+		if b.Term != nil {
+			res = terminatesCold(b.Term, info)
+		} else if len(b.Succs) > 0 {
+			res = true
+			for _, s := range b.Succs {
+				if !cold(s) {
+					res = false
+					break
+				}
+			}
+		}
+		if res {
+			state[b] = 2
+		} else {
+			state[b] = 3
+		}
+		return res
+	}
+	for _, b := range g.Blocks {
+		if cold(b) {
+			for _, s := range b.Stmts {
+				out[s] = true
+			}
+		}
+	}
+	return out
+}
+
+// terminatesCold reports whether a terminator statement is an error exit:
+// a return whose error-typed result is visibly non-nil, or a panic-like
+// call.
+func terminatesCold(s ast.Stmt, info *PackageInfo) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return isNoReturnCall(s.X)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			res = ast.Unparen(res)
+			if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if tv, ok := info.Info.Types[res]; ok && tv.Type != nil && isErrorType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}

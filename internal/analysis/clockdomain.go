@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// clockdomain: the discrete-event simulator keeps its own clock, and the
+// paper's calibrated timings depend on simulated time never mixing with
+// the machine's. The determinism check already bans time.Now inside the
+// simulator packages syntactically; clockdomain closes the transitive
+// hole: nothing *reachable* from simulator code — including the kernel
+// payload closures that knn hands to gpusim streams — may read the wall
+// clock. (The wall-clock benchmark harness is the dual: it must use real
+// time, and lives outside this domain by construction.)
+//
+// Roots are (a) every function declared in a package matched by the root
+// scope (production: internal/gpusim), (b) functions annotated
+// //texlint:clockdomain, and (c) the bodies of function literals passed to
+// gpusim Stream/Device methods (kernel payloads execute under the
+// simulated clock even though they are declared elsewhere).
+
+// NewClockDomain returns the clock-domain check. rootScope selects the
+// packages whose functions are implicit roots; nil means only annotated
+// functions and kernel payloads are roots (used by fixtures).
+func NewClockDomain(rootScope func(pkgPath string) bool) *Analyzer {
+	return &Analyzer{
+		Name: "clockdomain",
+		Doc:  "simulated-clock code must not read the wall clock (time.Now and friends)",
+		RunProgram: func(prog *Program) []Diagnostic {
+			return runClockDomain(prog, rootScope)
+		},
+	}
+}
+
+// wallClockFuncs are the time package entry points that read or schedule
+// against the machine clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runClockDomain(prog *Program, rootScope func(string) bool) []Diagnostic {
+	type rootEntry struct {
+		fn  *types.Func
+		why string
+	}
+	var roots []rootEntry
+	for fn, fi := range prog.Funcs {
+		switch {
+		case rootScope != nil && rootScope(fi.Pkg.Path):
+			roots = append(roots, rootEntry{fn, "declared in " + fi.Pkg.Path})
+		case fi.Ann.ClockRoot:
+			roots = append(roots, rootEntry{fn, "annotated //texlint:clockdomain"})
+		}
+	}
+
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos: prog.Fset.Position(pos), Check: "clockdomain",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Kernel payloads: function literals passed to gpusim stream/device
+	// methods run on the simulated timeline. Scan the literal in place and
+	// add the module functions it calls as traversal roots.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pkg.Info, call)
+				if callee == nil || !pathMatches(funcPkgPath(callee), []string{"internal/gpusim"}) {
+					return true
+				}
+				if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() == nil {
+					return true
+				}
+				for _, arg := range call.Args {
+					lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					label := fmt.Sprintf("%s payload", funcDisplayName(callee))
+					scanWallClock(pkg, lit.Body, label, report)
+					for _, cfn := range literalCallees(pkg, lit) {
+						if prog.Funcs[cfn] != nil {
+							roots = append(roots, rootEntry{cfn, "called from " + label})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	sort.Slice(roots, func(i, j int) bool {
+		return prog.Fset.Position(roots[i].fn.Pos()).Offset < prog.Fset.Position(roots[j].fn.Pos()).Offset
+	})
+
+	parent := make(map[*types.Func]*types.Func)
+	why := make(map[*types.Func]string)
+	seen := make(map[*types.Func]bool)
+	var order []*types.Func
+	for _, r := range roots {
+		if seen[r.fn] {
+			continue
+		}
+		seen[r.fn] = true
+		why[r.fn] = r.why
+		queue := []*types.Func{r.fn}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			order = append(order, fn)
+			for _, site := range prog.Callees(fn) {
+				if seen[site.Callee] || prog.Funcs[site.Callee] == nil {
+					continue
+				}
+				if prog.Suppressed("clockdomain", site.Pos) {
+					continue
+				}
+				seen[site.Callee] = true
+				parent[site.Callee] = fn
+				why[site.Callee] = why[r.fn]
+				queue = append(queue, site.Callee)
+			}
+		}
+	}
+
+	for _, fn := range order {
+		fi := prog.Funcs[fn]
+		chain := clockChain(fn, parent)
+		scanWallClock(fi.Pkg, fi.Decl.Body, "", func(pos token.Pos, format string, args ...any) {
+			msg := fmt.Sprintf(format, args...)
+			if chain != "" {
+				msg += fmt.Sprintf(" (reached via %s; root %s)", chain, why[fn])
+			} else {
+				msg += fmt.Sprintf(" (%s)", why[fn])
+			}
+			report(pos, "%s", msg)
+		})
+	}
+	return out
+}
+
+// scanWallClock reports direct wall-clock reads in one body. label, when
+// non-empty, names the enclosing kernel payload.
+func scanWallClock(pkg *Package, body ast.Node, label string, report func(pos token.Pos, format string, args ...any)) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || funcPkgPath(fn) != "time" || !wallClockFuncs[fn.Name()] {
+			return true
+		}
+		if label != "" {
+			report(call.Pos(), "time.%s inside %s: simulated-clock code must not read the wall clock", fn.Name(), label)
+		} else {
+			report(call.Pos(), "time.%s in simulated-clock code: sim time must flow from the device clock", fn.Name())
+		}
+		return true
+	})
+}
+
+// literalCallees resolves the module-local functions called from a
+// function literal.
+func literalCallees(pkg *Package, lit *ast.FuncLit) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg.Info, call); fn != nil {
+			out = append(out, fn.Origin())
+		}
+		return true
+	})
+	return out
+}
+
+// clockChain renders "a -> b -> c" from the BFS parent pointers, or "".
+func clockChain(fn *types.Func, parent map[*types.Func]*types.Func) string {
+	if parent[fn] == nil {
+		return ""
+	}
+	var chain []string
+	for f := fn; f != nil; f = parent[f] {
+		chain = append(chain, funcDisplayName(f))
+	}
+	s := chain[len(chain)-1]
+	for i := len(chain) - 2; i >= 0; i-- {
+		s += " -> " + chain[i]
+	}
+	return s
+}

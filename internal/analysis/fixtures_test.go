@@ -36,16 +36,53 @@ func TestFP16Fixture(t *testing.T) {
 	}
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewHotAlloc(), "hotalloc") {
+		t.Error(err)
+	}
+}
+
+// The fixture variant of clockdomain has no package-scope roots (nil
+// scope): roots come only from //texlint:clockdomain annotations and
+// gpusim payload closures, exactly as FixtureAnalyzers wires it.
+func TestClockDomainFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewClockDomain(nil), "clockdomain") {
+		t.Error(err)
+	}
+}
+
+func TestAliasRetFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewAliasRet(), "aliasret") {
+		t.Error(err)
+	}
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewAtomicMix(), "atomicmix") {
+		t.Error(err)
+	}
+}
+
 // TestDefaultAnalyzersScope pins the production scoping: the determinism
 // check applies to the simulator packages and not to e.g. cmd/ tools,
-// while fp16 skips internal/half itself.
+// while fp16 skips internal/half itself. The four flow-aware checks must
+// all be present so the directive parser knows their names.
 func TestDefaultAnalyzersScope(t *testing.T) {
 	byName := map[string]*Analyzer{}
 	for _, a := range DefaultAnalyzers() {
 		byName[a.Name] = a
 	}
-	if len(byName) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(byName))
+	if len(byName) != 9 {
+		t.Fatalf("expected 9 analyzers, got %d", len(byName))
+	}
+	for _, name := range []string{"hotalloc", "clockdomain", "aliasret", "atomicmix"} {
+		a := byName[name]
+		if a == nil {
+			t.Fatalf("missing analyzer %q", name)
+		}
+		if a.RunProgram == nil {
+			t.Errorf("%s must be flow-aware (RunProgram set)", name)
+		}
 	}
 	det := byName["determinism"]
 	if !det.Applies("texid/internal/gpusim") {

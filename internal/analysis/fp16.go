@@ -64,8 +64,10 @@ func runFP16(pass *Pass) []Diagnostic {
 
 // DefaultAnalyzers returns the production check suite with the project's
 // package scoping: the determinism check covers the simulator and the
-// numeric hot path (timing results must be reproducible), the other
-// checks cover all non-test code.
+// numeric hot path (timing results must be reproducible), the syntactic
+// checks cover all non-test code, and the flow-aware checks (hotalloc,
+// clockdomain, aliasret, atomicmix) run whole-program with clockdomain
+// rooted at the simulator.
 func DefaultAnalyzers() []*Analyzer {
 	simScope := ScopedTo(
 		"internal/gpusim", "internal/engine", "internal/blas",
@@ -77,5 +79,24 @@ func DefaultAnalyzers() []*Analyzer {
 		NewErrCheck(),
 		NewStreamPair(),
 		NewFP16(),
+		NewHotAlloc(),
+		NewClockDomain(ScopedTo("internal/gpusim")),
+		NewAliasRet(),
+		NewAtomicMix(),
 	}
+}
+
+// FixtureAnalyzers returns the suite configured for fixture packages:
+// identical to DefaultAnalyzers except that clockdomain takes its roots
+// only from //texlint:clockdomain annotations and stream payloads (the
+// fixture package is not internal/gpusim). Used by the fixture tests and
+// by `texlint -fixtures`.
+func FixtureAnalyzers() []*Analyzer {
+	out := DefaultAnalyzers()
+	for i, a := range out {
+		if a.Name == "clockdomain" {
+			out[i] = NewClockDomain(nil)
+		}
+	}
+	return out
 }

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// hotalloc: every function annotated //texlint:hotpath, and everything it
+// transitively calls within the module, must be free of heap allocations.
+// This turns the runtime AllocsPerRun guard on engine.Search into a static
+// whole-program gate: an allocation introduced three packages down the
+// call chain is reported at its source line, with the chain that reaches
+// it.
+//
+// Traversal is pruned at //texlint:coldpath functions (with a mandatory
+// reason) and at call sites carrying a //texlint:ignore hotalloc comment —
+// the edge-level escape hatch for "this callee allocates by design and the
+// hot caller only reaches it in an amortized or setup case".
+
+// NewHotAlloc returns the hot-path allocation check.
+func NewHotAlloc() *Analyzer {
+	return &Analyzer{
+		Name:       "hotalloc",
+		Doc:        "functions marked //texlint:hotpath (and their callees) must not heap-allocate",
+		RunProgram: runHotAlloc,
+	}
+}
+
+func runHotAlloc(prog *Program) []Diagnostic {
+	// Roots: every annotated hot function, in deterministic order.
+	var roots []*types.Func
+	for fn, fi := range prog.Funcs {
+		if fi.Ann.Hot {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return prog.Fset.Position(roots[i].Pos()).Offset < prog.Fset.Position(roots[j].Pos()).Offset
+	})
+
+	// BFS over the module-local call graph, remembering the first parent
+	// so findings can name the chain back to a root.
+	parent := make(map[*types.Func]*types.Func)
+	rootOf := make(map[*types.Func]*types.Func)
+	var order []*types.Func
+	seen := make(map[*types.Func]bool)
+	for _, r := range roots {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		rootOf[r] = r
+		queue := []*types.Func{r}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			order = append(order, fn)
+			for _, site := range prog.Callees(fn) {
+				if seen[site.Callee] {
+					continue
+				}
+				fi := prog.Funcs[site.Callee]
+				if fi == nil || fi.Ann.Cold {
+					continue
+				}
+				if prog.Suppressed("hotalloc", site.Pos) {
+					continue // justified edge: traversal stops here
+				}
+				seen[site.Callee] = true
+				parent[site.Callee] = fn
+				rootOf[site.Callee] = rootOf[fn]
+				queue = append(queue, site.Callee)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, fn := range order {
+		fi := prog.Funcs[fn]
+		suffix := chainSuffix(prog, fn, parent, rootOf)
+		scanAllocs(fi.Pkg, fi.Decl, prog.InModule, func(pos token.Pos, msg string) {
+			out = append(out, Diagnostic{
+				Pos:     prog.Fset.Position(pos),
+				Check:   "hotalloc",
+				Message: msg + suffix,
+			})
+		})
+	}
+	return out
+}
+
+// chainSuffix renders " (hot path: root -> ... -> fn)" for non-root
+// functions, and "" for roots (whose annotation is on the line above).
+func chainSuffix(prog *Program, fn *types.Func, parent, rootOf map[*types.Func]*types.Func) string {
+	if parent[fn] == nil {
+		return ""
+	}
+	var chain []string
+	for f := fn; f != nil; f = parent[f] {
+		chain = append(chain, funcDisplayName(f))
+	}
+	// Reverse: root first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	s := chain[0]
+	for _, c := range chain[1:] {
+		s += " -> " + c
+	}
+	return fmt.Sprintf(" (hot path: %s)", s)
+}
+
+// funcDisplayName renders pkg.Func or pkg.(Recv).Method.
+func funcDisplayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return pkg + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Whole-program analysis: the per-package checks inherited from texlint v1
+// see one package at a time, but the zero-alloc and clock-domain contracts
+// are properties of call *chains* that cross package boundaries
+// (engine.Search -> knn -> blas -> gpusim). Program indexes every function
+// declaration across the loaded packages, parses the texlint annotations
+// that mark hot paths and scratch-aliasing APIs, and builds a module-local
+// call graph on demand. All packages share one Loader and FileSet, so
+// types.Object identity is consistent program-wide and the graph can be
+// keyed directly on *types.Func.
+
+// FuncAnn carries the texlint annotations parsed from a function's doc
+// comment.
+type FuncAnn struct {
+	// Hot marks a //texlint:hotpath root: the function and everything it
+	// transitively calls must be allocation-free.
+	Hot bool
+	// Cold marks a //texlint:coldpath function: hot-path traversal stops
+	// here. A reason is mandatory.
+	Cold       bool
+	ColdReason string
+	// ScratchAlias marks an API whose results alias a reusable scratch;
+	// aliasret tracks its callers, and the function itself may return
+	// aliased slices.
+	ScratchAlias bool
+	// ClockRoot marks a //texlint:clockdomain root for the wall-clock
+	// reachability check (packages under internal/gpusim are roots
+	// implicitly; the annotation exists for fixtures and future domains).
+	ClockRoot bool
+}
+
+// FuncInfo is one function declaration in the program.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Ann  FuncAnn
+}
+
+// CallSite is one resolved call edge in the module-local call graph.
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// Program bundles the loaded packages for whole-program checks.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Funcs indexes every function/method declaration with a body.
+	Funcs map[*types.Func]*FuncInfo
+
+	pkgPaths map[string]bool
+	ignore   *ignoreIndex
+	callees  map[*types.Func][]CallSite
+}
+
+// BuildProgram indexes the packages (all loaded through one shared
+// Loader/FileSet) for whole-program analysis.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:     pkgs,
+		Funcs:    make(map[*types.Func]*FuncInfo),
+		pkgPaths: make(map[string]bool),
+		callees:  make(map[*types.Func][]CallSite),
+	}
+	var allFiles []*ast.File
+	for _, pkg := range pkgs {
+		if prog.Fset == nil {
+			prog.Fset = pkg.Fset
+		}
+		prog.pkgPaths[pkg.Path] = true
+		allFiles = append(allFiles, pkg.Files...)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.Funcs[fn] = &FuncInfo{Obj: fn, Decl: fd, Pkg: pkg, Ann: parseFuncAnn(fd.Doc)}
+			}
+		}
+	}
+	if prog.Fset != nil {
+		prog.ignore = buildIgnoreIndex(prog.Fset, allFiles)
+	}
+	return prog
+}
+
+// InModule reports whether the import path belongs to the loaded package
+// set (i.e. the analyzed module, not the stdlib).
+func (p *Program) InModule(path string) bool { return p.pkgPaths[path] }
+
+// Suppressed reports whether a //texlint:ignore directive covers the given
+// check at the given position. Whole-program checks use it to prune call
+// edges: an ignore on a call line both silences diagnostics there and stops
+// hot-path traversal into the callee.
+func (p *Program) Suppressed(check string, pos token.Pos) bool {
+	if p.ignore == nil || !pos.IsValid() {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	return p.ignore.suppressed(Diagnostic{Pos: position, Check: check})
+}
+
+// Callees resolves (and memoizes) the module-local call edges of fn,
+// including calls made inside function literals in its body — a closure's
+// calls are attributed to the enclosing declaration.
+func (p *Program) Callees(fn *types.Func) []CallSite {
+	if sites, ok := p.callees[fn]; ok {
+		return sites
+	}
+	fi := p.Funcs[fn]
+	if fi == nil {
+		return nil
+	}
+	var sites []CallSite
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(fi.Pkg.Info, call)
+		if callee == nil {
+			return true
+		}
+		callee = callee.Origin()
+		if _, ok := p.Funcs[callee]; ok {
+			sites = append(sites, CallSite{Callee: callee, Pos: call.Pos()})
+		}
+		return true
+	})
+	p.callees[fn] = sites
+	return sites
+}
+
+// Annotation directives recognized on function doc comments.
+const (
+	hotpathPrefix      = "//texlint:hotpath"
+	coldpathPrefix     = "//texlint:coldpath"
+	scratchaliasPrefix = "//texlint:scratchalias"
+	clockdomainPrefix  = "//texlint:clockdomain"
+)
+
+// parseFuncAnn extracts texlint annotations from a doc comment group.
+func parseFuncAnn(doc *ast.CommentGroup) FuncAnn {
+	var ann FuncAnn
+	if doc == nil {
+		return ann
+	}
+	for _, c := range doc.List {
+		switch {
+		case directiveIs(c.Text, hotpathPrefix):
+			ann.Hot = true
+		case directiveIs(c.Text, coldpathPrefix):
+			ann.Cold = true
+			ann.ColdReason = strings.TrimSpace(strings.TrimPrefix(c.Text, coldpathPrefix))
+		case directiveIs(c.Text, scratchaliasPrefix):
+			ann.ScratchAlias = true
+		case directiveIs(c.Text, clockdomainPrefix):
+			ann.ClockRoot = true
+		}
+	}
+	return ann
+}
+
+// directiveIs matches a comment against one directive, requiring the name
+// to end at a word boundary so //texlint:hotpath does not match a future
+// //texlint:hotpath2.
+func directiveIs(text, prefix string) bool {
+	if !strings.HasPrefix(text, prefix) {
+		return false
+	}
+	rest := text[len(prefix):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// directiveDiags validates every //texlint: comment in the program:
+// unknown directive names, ignores with no check list, ignores naming an
+// unknown check, bare ignores with no reason, and coldpath annotations
+// with no reason all become findings under the "directive" check.
+func (p *Program) directiveDiags(knownChecks map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Pos: p.Fset.Position(pos), Check: "directive",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					if !strings.HasPrefix(text, "//texlint:") {
+						continue
+					}
+					switch {
+					case directiveIs(text, ignorePrefix):
+						rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+						fields := strings.Fields(rest)
+						if len(fields) == 0 {
+							report(c.Pos(), "texlint:ignore needs a check list and a reason: //texlint:ignore <check>[,<check>...] <reason>")
+							continue
+						}
+						for _, name := range strings.Split(fields[0], ",") {
+							name = strings.TrimSpace(name)
+							if name != "" && !knownChecks[name] {
+								report(c.Pos(), "texlint:ignore names unknown check %q (known: %s)", name, strings.Join(sortedKeys(knownChecks), ", "))
+							}
+						}
+						if len(fields) == 1 {
+							report(c.Pos(), "texlint:ignore %s has no reason; bare ignores are not allowed — say why, or record it in texlint.baseline", fields[0])
+						}
+					case directiveIs(text, coldpathPrefix):
+						if strings.TrimSpace(strings.TrimPrefix(text, coldpathPrefix)) == "" {
+							report(c.Pos(), "texlint:coldpath needs a reason explaining why this function is off the hot path")
+						}
+					case directiveIs(text, hotpathPrefix),
+						directiveIs(text, scratchaliasPrefix),
+						directiveIs(text, clockdomainPrefix):
+						// Valid annotations; nothing to check.
+					default:
+						name := strings.TrimPrefix(text, "//texlint:")
+						if i := strings.IndexAny(name, " \t"); i >= 0 {
+							name = name[:i]
+						}
+						report(c.Pos(), "unknown texlint directive %q (known: ignore, hotpath, coldpath, scratchalias, clockdomain)", name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll executes per-package analyzers over every package and
+// whole-program analyzers once, validates texlint directives, filters
+// suppressed diagnostics, and returns the rest sorted by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := BuildProgram(pkgs)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			out = append(out, a.RunProgram(prog)...)
+			continue
+		}
+		for _, pkg := range pkgs {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Info, PkgPath: pkg.Path}
+			out = append(out, a.Run(pass)...)
+		}
+	}
+	out = append(out, prog.directiveDiags(knownCheckSet())...)
+	var kept []Diagnostic
+	for _, d := range out {
+		if prog.ignore != nil && prog.ignore.suppressed(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return sortDiags(kept)
+}
+
+func sortDiags(ds []Diagnostic) []Diagnostic {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Pos.Filename != ds[j].Pos.Filename {
+			return ds[i].Pos.Filename < ds[j].Pos.Filename
+		}
+		if ds[i].Pos.Line != ds[j].Pos.Line {
+			return ds[i].Pos.Line < ds[j].Pos.Line
+		}
+		if ds[i].Check != ds[j].Check {
+			return ds[i].Check < ds[j].Check
+		}
+		return ds[i].Message < ds[j].Message
+	})
+	// Whole-program traversals can reach the same site from several roots;
+	// keep one copy of identical findings.
+	w := 0
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		ds[w] = d
+		w++
+	}
+	return ds[:w]
+}

@@ -1,0 +1,57 @@
+package fixture
+
+// Scratch is a reusable buffer; view returns a slice aliasing it.
+type Scratch struct {
+	buf []int
+}
+
+// view returns the scratch-backed result slab, resized to n. The result
+// is valid until the next view call on the same Scratch.
+//
+//texlint:scratchalias
+func view(sc *Scratch, n int) []int {
+	if cap(sc.buf) < n {
+		sc.buf = make([]int, n)
+	}
+	return sc.buf[:n]
+}
+
+type holder struct{ kept []int }
+
+func storeField(h *holder, sc *Scratch) {
+	res := view(sc, 8)
+	h.kept = res // want "aliased result of fixture.view stored in field h.kept"
+}
+
+func leak(sc *Scratch) []int {
+	res := view(sc, 8)
+	return res // want "returned; mark leak //texlint:scratchalias or copy before returning"
+}
+
+func useAfterReuse(sc *Scratch) int {
+	a := view(sc, 4)
+	b := view(sc, 4)
+	b[0] = 1
+	return a[0] // want "read after fixture.view reused scratch sc"
+}
+
+func accumulate(sc *Scratch, rounds int) []int {
+	var acc []int
+	for i := 0; i < rounds; i++ {
+		res := view(sc, 4)
+		acc = append(acc, res...) // want "append retains aliased result of fixture.view"
+	}
+	return acc
+}
+
+func staleRead(sc *Scratch, rounds int) int {
+	sum := 0
+	var res []int
+	for i := 0; i < rounds; i++ {
+		if res != nil { // want "read before the call in the same loop body"
+			sum += res[0] // want "read before the call in the same loop body"
+		}
+		res = view(sc, 4)
+	}
+	return sum
+}

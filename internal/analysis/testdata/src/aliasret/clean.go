@@ -1,0 +1,35 @@
+package fixture
+
+// consume reduces the aliased result before the next reuse — the
+// sanctioned consume-immediately pattern.
+func consume(sc *Scratch) int {
+	res := view(sc, 4)
+	sum := 0
+	for _, v := range res {
+		sum += v
+	}
+	return sum
+}
+
+// snapshot copies before returning, so nothing aliases the scratch.
+func snapshot(sc *Scratch) []int {
+	res := view(sc, 4)
+	out := make([]int, len(res))
+	copy(out, res)
+	return out
+}
+
+// viewAll wraps view and is itself annotated — how the aliasing contract
+// propagates up an API layer.
+//
+//texlint:scratchalias
+func viewAll(sc *Scratch) []int {
+	res := view(sc, 16)
+	return res
+}
+
+// pinned shows the escape hatch on a retention the caller controls.
+func pinned(h *holder, sc *Scratch) {
+	res := view(sc, 4)
+	h.kept = res //texlint:ignore aliasret the holder is cleared before every scratch reuse in this fixture's protocol
+}

@@ -1,0 +1,25 @@
+package fixture
+
+import "sync/atomic"
+
+var counter int64
+
+func bump() {
+	atomic.AddInt64(&counter, 1)
+}
+
+func racyRead() int64 {
+	return counter // want "counter is accessed with sync/atomic at .+ but plainly here"
+}
+
+type stats struct {
+	hits int64
+}
+
+func (s *stats) record() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() int64 {
+	return s.hits // want "hits is accessed with sync/atomic at .+ but plainly here"
+}

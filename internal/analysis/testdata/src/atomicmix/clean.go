@@ -1,0 +1,25 @@
+package fixture
+
+import "sync/atomic"
+
+// Wrapper types make mixed access impossible by construction.
+var gauge atomic.Int64
+
+func setGauge(v int64) { gauge.Store(v) }
+func readGauge() int64 { return gauge.Load() }
+
+// A raw variable is fine as long as every access is atomic.
+var total int64
+
+func addTotal(v int64) { atomic.AddInt64(&total, v) }
+func readTotal() int64 { return atomic.LoadInt64(&total) }
+
+// The escape hatch: a plain write justified as happening before any
+// concurrent reader exists.
+var ready int64
+
+func markReady() {
+	ready = 1 //texlint:ignore atomicmix runs in the single-goroutine setup phase before any reader starts
+}
+
+func isReady() bool { return atomic.LoadInt64(&ready) != 0 }

@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"time"
+
+	"texid/internal/gpusim"
+)
+
+// launch hands a functional payload to a gpusim stream; the payload runs
+// on the simulated timeline and must not read the wall clock.
+func launch(s *gpusim.Stream) {
+	s.Elementwise("elementwise/scale", 4096, func() {
+		_ = time.Now() // want "time.Now inside gpusim.Stream.Elementwise payload"
+	})
+}
+
+// advance opts into the simulated-clock domain explicitly.
+//
+//texlint:clockdomain
+func advance() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in simulated-clock code"
+}
+
+//texlint:clockdomain
+func tick() float64 {
+	return readClock()
+}
+
+// readClock is reached transitively from the annotated root tick.
+func readClock() float64 {
+	return float64(time.Now().UnixNano()) // want "sim time must flow from the device clock .reached via fixture.tick -> fixture.readClock"
+}

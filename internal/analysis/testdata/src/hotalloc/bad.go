@@ -1,0 +1,29 @@
+package fixture
+
+// hot is a //texlint:hotpath root: it and everything it transitively
+// calls must be free of heap allocations.
+//
+//texlint:hotpath
+func hot(dst []float32, names []string) string {
+	buf := make([]float32, 8) // want "make allocates on the hot path"
+	dst = append(dst, buf...) // want "append to dst may grow on the hot path"
+	deeper(len(dst))
+	return names[0] + names[1] // want "string concatenation allocates on the hot path"
+}
+
+// deeper is reached transitively; findings name the chain back to the root.
+func deeper(n int) *box {
+	return &box{n: n} // want "escapes to the heap on the hot path .hot path: fixture.hot -> fixture.deeper."
+}
+
+type box struct{ n int }
+
+//texlint:hotpath
+func spawns(fn func()) {
+	go fn() // want "go statement launches a goroutine"
+}
+
+//texlint:hotpath
+func tallies(m map[string]int, k string) {
+	m[k] = m[k] + 1 // want "map write to m on the hot path"
+}

@@ -1,0 +1,72 @@
+package fixture
+
+import "fmt"
+
+type scratch struct{ buf []float32 }
+
+// amortized demonstrates the grow-once-then-reuse idiom: an allocation
+// guarded by a cap()/len() test is the sanctioned scratch pattern.
+//
+//texlint:hotpath
+func amortized(sc *scratch, n int) []float32 {
+	if cap(sc.buf) < n {
+		sc.buf = make([]float32, n)
+	}
+	sc.buf = sc.buf[:n]
+	return sc.buf
+}
+
+// guarded shows that error formatting is cold: every path through the
+// branch ends in an error return, so the fmt.Errorf is off the hot path.
+//
+//texlint:hotpath
+func guarded(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative count %d", n)
+	}
+	return n * 2, nil
+}
+
+// filter demonstrates filter-in-place: out shares keep's backing array
+// and the append can never grow past the donor's capacity.
+//
+//texlint:hotpath
+func filter(keep []int) []int {
+	out := keep[:0]
+	for _, v := range keep {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// buildTable allocates, but hot-path traversal stops at the coldpath
+// annotation (the reason is mandatory).
+//
+//texlint:coldpath built once on first use and cached by the caller for the rest of the run
+func buildTable() []int {
+	return make([]int, 128)
+}
+
+//texlint:hotpath
+func tableLookup(t []int, i int) int {
+	if t == nil {
+		t = buildTable()
+	}
+	return t[i%len(t)]
+}
+
+// allocFallback allocates by design; the hot caller prunes the edge with
+// a justified ignore on the call line instead.
+func allocFallback(n int) []float32 {
+	return make([]float32, n)
+}
+
+//texlint:hotpath
+func withFallback(buf []float32, n int) []float32 {
+	if buf == nil {
+		return allocFallback(n) //texlint:ignore hotalloc nil-buffer fallback runs once at setup, not in the steady state
+	}
+	return buf[:n]
+}

@@ -114,6 +114,8 @@ func exprText(e ast.Expr) string {
 		return exprText(e.X) + "[...]"
 	case *ast.StarExpr:
 		return "*" + exprText(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprText(e.X)
 	case *ast.ParenExpr:
 		return exprText(e.X)
 	}

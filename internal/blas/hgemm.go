@@ -151,6 +151,8 @@ func (m *HalfMatrix) Slice(from, to int) *HalfMatrix {
 //
 // alpha is applied after accumulation in float32, matching cuBLAS's
 // epilogue, so alpha = -2 cannot itself overflow the FP16 accumulator.
+//
+//texlint:hotpath
 func HGemmTN(alpha float32, A, B *HalfMatrix, mode AccumMode, C *Matrix) {
 	if A.Rows != B.Rows {
 		panic(fmt.Sprintf("blas: HGemmTN inner dimension mismatch %d != %d", A.Rows, B.Rows))

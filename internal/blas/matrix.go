@@ -65,6 +65,20 @@ func (m *Matrix) Slice(from, to int) *Matrix {
 	}
 }
 
+// SliceView is Slice returning the view by value, for hot loops that must
+// not heap-allocate the matrix header.
+func (m *Matrix) SliceView(from, to int) Matrix {
+	if from < 0 || to > m.Cols || from > to {
+		panic(fmt.Sprintf("blas: slice [%d,%d) of %d columns", from, to, m.Cols))
+	}
+	return Matrix{
+		Rows:   m.Rows,
+		Cols:   to - from,
+		Stride: m.Stride,
+		Data:   m.Data[from*m.Stride : from*m.Stride+(to-from-1)*m.Stride+m.Rows],
+	}
+}
+
 // Clone returns a deep copy with a tight stride.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.Rows, m.Cols)

@@ -139,6 +139,13 @@ func removeItem(s []*Item, it *Item) []*Item {
 // Items returns all cached items in insertion order.
 func (h *Hybrid) Items() []*Item { return append([]*Item(nil), h.order...) }
 
+// AppendItems appends all cached items in insertion order to dst and
+// returns the extended slice. Search loops pass a recycled buffer so the
+// steady-state snapshot allocates nothing.
+func (h *Hybrid) AppendItems(dst []*Item) []*Item {
+	return append(dst, h.order...) //texlint:ignore hotalloc grows only when batches sealed since the caller's last search; steady state reuses the caller's buffer at full capacity
+}
+
 // Stats summarizes cache occupancy.
 type Stats struct {
 	GPUUsed, GPUBudget   int64

@@ -115,6 +115,7 @@ type Engine struct {
 	// allocation, since it escapes to the caller).
 	scratch  knn.Scratch
 	qscratch knn.QueryScratch
+	itemsBuf []*cache.Item
 }
 
 // New creates an engine, allocating per-stream device workspace (the
@@ -253,6 +254,8 @@ func (e *Engine) Flush() error {
 
 // sealLocked turns the pending references into a device batch and inserts
 // it into the hybrid cache.
+//
+//texlint:coldpath sealing runs once per BatchSize enrolls (or on Flush), not per steady-state search; the early return makes searches after a flush free
 func (e *Engine) sealLocked() error {
 	if len(e.pendingUIDs) == 0 {
 		return nil

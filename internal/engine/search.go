@@ -33,6 +33,8 @@ type Report struct {
 // verification is enabled. Cached batches are scattered round-robin across
 // the engine's streams; host-resident batches stream over PCIe, overlapping
 // with other streams' kernels.
+//
+//texlint:hotpath
 func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Report, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -56,7 +58,8 @@ func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Rep
 	}
 	defer q.Free()
 
-	items := e.hybrid.Items()
+	items := e.hybrid.AppendItems(e.itemsBuf[:0])
+	e.itemsBuf = items
 	opts := knn.Options{
 		Algorithm: e.cfg.Algorithm,
 		Precision: e.cfg.Precision,

@@ -62,7 +62,8 @@ func (e *Engine) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoi
 		queries[i] = q
 	}
 
-	items := e.hybrid.Items()
+	items := e.hybrid.AppendItems(e.itemsBuf[:0])
+	e.itemsBuf = items
 	opts := knn.Options{
 		Algorithm: e.cfg.Algorithm,
 		Precision: e.cfg.Precision,

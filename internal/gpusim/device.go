@@ -122,10 +122,14 @@ func (d *Device) Synchronize() float64 {
 			now = s.tailUS
 		}
 	}
-	for _, e := range []*engine{&d.compute, &d.h2d, &d.d2h} {
-		if e.freeAtUS > now {
-			now = e.freeAtUS
-		}
+	if d.compute.freeAtUS > now {
+		now = d.compute.freeAtUS
+	}
+	if d.h2d.freeAtUS > now {
+		now = d.h2d.freeAtUS
+	}
+	if d.d2h.freeAtUS > now {
+		now = d.d2h.freeAtUS
 	}
 	return now
 }
@@ -175,6 +179,8 @@ func (d *Device) ProfileString() string {
 // engine and returns its completion time. A nil engine means the operation
 // only occupies the stream (host-side work on the stream's CPU thread).
 // cov is the jitter coefficient of variation for this operation class.
+//
+//texlint:hotpath
 func (d *Device) schedule(s *Stream, e *engine, name string, durUS float64, cov float64) float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -191,12 +197,20 @@ func (d *Device) schedule(s *Stream, e *engine, name string, durUS float64, cov 
 	}
 	st, ok := d.prof[name]
 	if !ok {
-		st = &OpStats{}
-		d.prof[name] = st
+		st = d.newOpStats(name)
 	}
 	st.Count++
 	st.TotalUS += durUS
 	return end
+}
+
+// newOpStats creates and registers the profile bucket for an op name.
+//
+//texlint:coldpath one bucket per distinct op name, created on its first occurrence and amortized across the run
+func (d *Device) newOpStats(name string) *OpStats {
+	st := &OpStats{}
+	d.prof[name] = st
+	return st
 }
 
 // Stream is an in-order command queue plus its paired host CPU thread.
@@ -223,30 +237,42 @@ func run(fn func()) {
 	}
 }
 
+// opName returns the precomputed profile key "<family>/<precision>".
+// Keeping these as constants (rather than concatenating per call) keeps the
+// per-op scheduling path allocation-free.
+func opName(fp32, fp16 string, prec Precision) string {
+	if prec == FP16 {
+		return fp16
+	}
+	return fp32
+}
+
 // Gemm enqueues a C = AᵀB kernel (A: k×m, B: k×n) on the compute engine.
 func (s *Stream) Gemm(m, n, k int, prec Precision, fn func()) float64 {
 	run(fn)
-	return s.dev.schedule(s, &s.dev.compute, "gemm/"+prec.String(), s.dev.Spec.GemmTimeUS(m, n, k, prec), s.dev.kernelCoV())
+	return s.dev.schedule(s, &s.dev.compute, opName("gemm/fp32", "gemm/fp16", prec), s.dev.Spec.GemmTimeUS(m, n, k, prec), s.dev.kernelCoV())
 }
 
 // Top2Scan enqueues the register-resident top-2 selection over a
 // (rows)×(cols·batch) distance matrix.
 func (s *Stream) Top2Scan(rows, cols, batch int, prec Precision, fn func()) float64 {
 	run(fn)
-	return s.dev.schedule(s, &s.dev.compute, "top2scan/"+prec.String(), s.dev.Spec.Top2ScanTimeUS(rows, cols, batch, prec), s.dev.kernelCoV())
+	return s.dev.schedule(s, &s.dev.compute, opName("top2scan/fp32", "top2scan/fp16", prec), s.dev.Spec.Top2ScanTimeUS(rows, cols, batch, prec), s.dev.kernelCoV())
 }
 
 // InsertionSort enqueues the reference implementation's modified insertion
 // sort (the pre-optimization Algorithm 1 step 5).
 func (s *Stream) InsertionSort(rows, cols, batch int, prec Precision, fn func()) float64 {
 	run(fn)
-	return s.dev.schedule(s, &s.dev.compute, "insertionsort/"+prec.String(), s.dev.Spec.InsertionSortTimeUS(rows, cols, batch, prec), s.dev.kernelCoV())
+	return s.dev.schedule(s, &s.dev.compute, opName("insertionsort/fp32", "insertionsort/fp16", prec), s.dev.Spec.InsertionSortTimeUS(rows, cols, batch, prec), s.dev.kernelCoV())
 }
 
-// Elementwise enqueues a streaming kernel touching the given bytes.
-func (s *Stream) Elementwise(name string, bytes int64, fn func()) float64 {
+// Elementwise enqueues a streaming kernel touching the given bytes. op is
+// the full profile key (e.g. "elementwise/addNR"); callers pass constants
+// so the scheduling path performs no string concatenation.
+func (s *Stream) Elementwise(op string, bytes int64, fn func()) float64 {
 	run(fn)
-	return s.dev.schedule(s, &s.dev.compute, "elementwise/"+name, s.dev.Spec.ElementwiseTimeUS(bytes), s.dev.kernelCoV())
+	return s.dev.schedule(s, &s.dev.compute, op, s.dev.Spec.ElementwiseTimeUS(bytes), s.dev.kernelCoV())
 }
 
 // BaselineMatch enqueues the monolithic OpenCV-CUDA brute-force 2-NN

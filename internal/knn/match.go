@@ -21,13 +21,16 @@ func MatchBatch(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options) ([]
 // allocates nothing per batch. Results alias sc and must be consumed
 // before the next call reusing it; a nil sc behaves exactly like
 // MatchBatch.
+//
+//texlint:hotpath
+//texlint:scratchalias
 func MatchBatchScratch(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, sc *Scratch) ([]Pair2NN, error) {
 	if rb.D != q.D {
 		return nil, fmt.Errorf("knn: dimension mismatch: refs d=%d, query d=%d", rb.D, q.D)
 	}
 	switch opts.Algorithm {
 	case Baseline:
-		return matchBaseline(stream, rb, q)
+		return matchBaseline(stream, rb, q) //texlint:ignore hotalloc the baseline variant allocates per batch by design; it exists to be measured against, not to meet the zero-alloc contract
 	case Garcia, Eq1Top2:
 		return matchEq1(stream, rb, q, opts, sc)
 	case RootSIFT:
@@ -105,11 +108,11 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, sc *S
 	// elementwise traversal here, but the host-side arithmetic is fused
 	// into the selection pass below (Top2AddRows), which adds N_R on the
 	// fly — one sweep over the m×n block instead of two.
-	stream.Elementwise("addNR", 2*int64(B)*int64(m)*int64(n)*int64(prec.ElemBytes()), nil)
+	stream.Elementwise("elementwise/addNR", 2*int64(B)*int64(m)*int64(n)*int64(prec.ElemBytes()), nil)
 
 	// Step 5: per-column top-2 selection within each reference block,
 	// with the step-4 row add fused in.
-	sel := func() {
+	sel := func() { //texlint:ignore hotalloc the payload closure runs eagerly inside the stream call and is never retained, so it stays on the stack
 		if phantom {
 			return
 		}
@@ -125,7 +128,7 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, sc *S
 	}
 
 	// Steps 6-7: add N_Q to the two survivors and square-root (fused).
-	stream.Elementwise("addNQ-sqrt", 2*int64(B)*2*int64(n)*int64(prec.ElemBytes()), func() {
+	stream.Elementwise("elementwise/addNQ-sqrt", 2*int64(B)*2*int64(n)*int64(prec.ElemBytes()), func() {
 		if phantom {
 			return
 		}

@@ -24,6 +24,8 @@ type MultiQuery struct {
 // BuildMultiQuery validates a query batch and stages its concatenation,
 // reusing sc's concat buffers when sc is non-nil. The result aliases sc (and
 // the queries' matrices) and is valid until sc's next BuildMultiQuery call.
+//
+//texlint:scratchalias
 func BuildMultiQuery(queries []*Query, prec gpusim.Precision, sc *Scratch) (*MultiQuery, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("knn: empty query batch")
@@ -86,6 +88,8 @@ func MatchMultiQuery(stream *gpusim.Stream, rb *RefBatch, queries []*Query, opts
 // Results alias sc (see Scratch) and must be consumed before the next call
 // reusing it.
 //
+//texlint:hotpath
+//texlint:scratchalias
 //texlint:ignore streampair the engine synchronizes the device after issuing every batch
 func MatchMultiQueryInto(stream *gpusim.Stream, rb *RefBatch, mq *MultiQuery, opts Options, sc *Scratch) ([][]Pair2NN, error) {
 	if opts.Algorithm != RootSIFT {
@@ -130,11 +134,11 @@ func MatchMultiQueryInto(stream *gpusim.Stream, rb *RefBatch, mq *MultiQuery, op
 			return
 		}
 		blas.Parallel(Bq, func(qi int) {
-			sub := C.Slice(qi*n, (qi+1)*n)
+			sub := C.SliceView(qi*n, (qi+1)*n)
 			rs := results[qi]
 			for b := 0; b < B; b++ {
 				p := &rs[b]
-				blas.Top2AddRows(sub, nil, b*m, (b+1)*m, p.Best, p.Second, p.BestIdx)
+				blas.Top2AddRows(&sub, nil, b*m, (b+1)*m, p.Best, p.Second, p.BestIdx)
 				for j := range p.Best {
 					p.Best[j] = sqrt32(2 + p.Best[j])
 					p.Second[j] = sqrt32(2 + p.Second[j])

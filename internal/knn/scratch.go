@@ -34,7 +34,7 @@ type Scratch struct {
 // fully overwrite it.
 func (sc *Scratch) matrix(rows, cols int) *blas.Matrix {
 	if sc == nil {
-		return blas.NewMatrix(rows, cols)
+		return blas.NewMatrix(rows, cols) //texlint:ignore hotalloc nil-scratch fallback for the allocation-tolerant MatchBatch path; the engine always threads a scratch
 	}
 	need := rows * cols
 	if cap(sc.cbuf) < need {
@@ -62,16 +62,7 @@ func (sc *Scratch) grow(cnt, n int) {
 func (sc *Scratch) pairSlab(ids []int, n int, phantom bool) []Pair2NN {
 	B := len(ids)
 	if sc == nil {
-		pairs := make([]Pair2NN, B)
-		for b, id := range ids {
-			pairs[b].RefID = id
-			if !phantom {
-				pairs[b].Best = make([]float32, n)
-				pairs[b].Second = make([]float32, n)
-				pairs[b].BestIdx = make([]int32, n)
-			}
-		}
-		return pairs
+		return newPairSlab(ids, n, phantom)
 	}
 	if cap(sc.pairs) < B {
 		sc.pairs = make([]Pair2NN, B)
@@ -100,11 +91,7 @@ func (sc *Scratch) pairSlab(ids []int, n int, phantom bool) []Pair2NN {
 func (sc *Scratch) multiSlab(ids []int, Bq, n int, phantom bool) [][]Pair2NN {
 	B := len(ids)
 	if sc == nil {
-		out := make([][]Pair2NN, Bq)
-		for qi := range out {
-			out[qi] = (*Scratch)(nil).pairSlab(ids, n, phantom)
-		}
-		return out
+		return newMultiSlab(ids, Bq, n, phantom)
 	}
 	if cap(sc.multi) < Bq {
 		sc.multi = make([][]Pair2NN, Bq)
@@ -137,6 +124,34 @@ func (sc *Scratch) multiSlab(ids []int, Bq, n int, phantom bool) [][]Pair2NN {
 	return sc.multi
 }
 
+// newPairSlab is the nil-scratch fallback of pairSlab: one fresh shell
+// (plus result slices) per reference.
+//
+//texlint:coldpath nil-scratch fallback used by MatchBatch and tests; the engine's serving loop always supplies a Scratch
+func newPairSlab(ids []int, n int, phantom bool) []Pair2NN {
+	pairs := make([]Pair2NN, len(ids))
+	for b, id := range ids {
+		pairs[b].RefID = id
+		if !phantom {
+			pairs[b].Best = make([]float32, n)
+			pairs[b].Second = make([]float32, n)
+			pairs[b].BestIdx = make([]int32, n)
+		}
+	}
+	return pairs
+}
+
+// newMultiSlab is the nil-scratch fallback of multiSlab.
+//
+//texlint:coldpath nil-scratch fallback used by MatchMultiQuery and tests; the engine's serving loop always supplies a Scratch
+func newMultiSlab(ids []int, Bq, n int, phantom bool) [][]Pair2NN {
+	out := make([][]Pair2NN, Bq)
+	for qi := range out {
+		out[qi] = newPairSlab(ids, n, phantom)
+	}
+	return out
+}
+
 // QueryScratch recycles the buffers NewQuery stages per search: the squared
 // norm vector, the binary16 conversion, and the Query shell itself. Owned
 // by the engine under its mutex.
@@ -149,9 +164,12 @@ type QueryScratch struct {
 // NewQueryScratch is NewQuery staging into qs's buffers; with a nil qs it
 // is identical to NewQuery. The returned Query (and its matrices) alias qs
 // and are valid until the next NewQueryScratch call with the same qs.
+//
+//texlint:hotpath
+//texlint:scratchalias
 func NewQueryScratch(dev *gpusim.Device, mat *blas.Matrix, scale float32, qs *QueryScratch) (*Query, error) {
 	if qs == nil {
-		return NewQuery(dev, mat, scale)
+		return NewQuery(dev, mat, scale) //texlint:ignore hotalloc nil-scratch fallback; NewQuery allocates fresh buffers by contract
 	}
 	if scale == 0 {
 		scale = 1

@@ -3,9 +3,13 @@
 # (cmd/texbench -wallclock) and fails if any op's ns/op regressed more than
 # 20% against the committed BENCH_HOST.json baseline.
 #
-#   scripts/bench.sh              # compare against committed baseline
-#   COUNT=5 scripts/bench.sh      # more runs per op (less noise)
-#   UPDATE=1 scripts/bench.sh     # re-measure and update BENCH_HOST.json
+#   scripts/bench.sh                          # compare against committed baseline
+#   COUNT=5 scripts/bench.sh                  # more runs per op (less noise)
+#   UPDATE=1 scripts/bench.sh                 # re-measure and update BENCH_HOST.json
+#   TEXID_BENCH_BASELINE=skip scripts/bench.sh  # measure only, no regression gate
+#
+# The baseline is validated before the (slow) suite runs: a missing or
+# malformed BENCH_HOST.json is a hard error, never a silent re-measure.
 #
 # Wall-clock numbers are machine-dependent: the committed baseline only
 # gates relative regressions on the machine that runs the suite, so treat
@@ -16,12 +20,37 @@ cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
 
-if [[ "${UPDATE:-0}" == 1 || ! -f BENCH_HOST.json ]]; then
+if [[ "${UPDATE:-0}" == 1 ]]; then
   echo "==> texbench -wallclock (writing BENCH_HOST.json)"
   go run ./cmd/texbench -wallclock -count "$COUNT" -out BENCH_HOST.json
-else
-  echo "==> texbench -wallclock (vs committed BENCH_HOST.json)"
-  go run ./cmd/texbench -wallclock -count "$COUNT" -baseline BENCH_HOST.json
+  echo "OK"
+  exit 0
 fi
 
+if [[ "${TEXID_BENCH_BASELINE:-}" == "skip" ]]; then
+  echo "==> texbench -wallclock (regression gate skipped: TEXID_BENCH_BASELINE=skip)"
+  go run ./cmd/texbench -wallclock -count "$COUNT"
+  echo "OK"
+  exit 0
+fi
+
+if [[ ! -f BENCH_HOST.json ]]; then
+  {
+    echo "error: BENCH_HOST.json not found — there is no baseline to gate against."
+    echo "  record one:       UPDATE=1 scripts/bench.sh"
+    echo "  or skip the gate: TEXID_BENCH_BASELINE=skip scripts/bench.sh"
+  } >&2
+  exit 1
+fi
+
+if ! go run ./cmd/texbench -validate-baseline -baseline BENCH_HOST.json; then
+  {
+    echo "error: BENCH_HOST.json is malformed or empty."
+    echo "  re-record it with: UPDATE=1 scripts/bench.sh"
+  } >&2
+  exit 1
+fi
+
+echo "==> texbench -wallclock (vs committed BENCH_HOST.json)"
+go run ./cmd/texbench -wallclock -count "$COUNT" -baseline BENCH_HOST.json
 echo "OK"

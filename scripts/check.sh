@@ -13,7 +13,10 @@ echo "==> go vet"
 go vet ./...
 
 echo "==> texlint"
-go run ./cmd/texlint ./...
+go run ./cmd/texlint -baseline texlint.baseline ./...
+
+echo "==> texlint -fixtures"
+go run ./cmd/texlint -fixtures
 
 echo "==> go test -race"
 go test -race ./...
