@@ -22,6 +22,14 @@ type ClusterConfig struct {
 	// StoreAddr optionally points at a kvstore server (see
 	// internal/kvstore or cmd/texsearchd -kvstore) for persistence.
 	StoreAddr string
+	// Call tunes the coordinator→worker fault-tolerance policy (deadlines,
+	// retries, hedging); zero value = cluster.DefaultCallPolicy().
+	Call cluster.CallPolicy
+	// Health tunes the per-worker failure detector.
+	Health cluster.HealthPolicy
+	// MinShards is the minimum shards that must answer a search before it
+	// fails instead of degrading to a partial result (<= 0: any one).
+	MinShards int
 }
 
 // DefaultClusterConfig returns the paper's 14-GPU deployment.
@@ -46,6 +54,9 @@ func OpenCluster(cfg ClusterConfig) (*ClusterSystem, error) {
 		Workers:   cfg.Workers,
 		Engine:    cfg.Engine,
 		StoreAddr: cfg.StoreAddr,
+		Call:      cfg.Call,
+		Health:    cfg.Health,
+		MinShards: cfg.MinShards,
 	})
 	if err != nil {
 		return nil, err
@@ -74,14 +85,23 @@ func (c *ClusterSystem) SearchImage(im *Image) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return clusterResult(rep), nil
+}
+
+// clusterResult converts a merged shard report to the public Result,
+// carrying the graceful-degradation fields along.
+func clusterResult(rep *cluster.Report) *Result {
 	return &Result{
-		ID:        rep.BestID,
-		Score:     rep.Score,
-		Accepted:  rep.Accepted,
-		Compared:  rep.Compared,
-		ElapsedUS: rep.ElapsedUS,
-		Speed:     rep.Speed,
-	}, nil
+		ID:             rep.BestID,
+		Score:          rep.Score,
+		Accepted:       rep.Accepted,
+		Compared:       rep.Compared,
+		ElapsedUS:      rep.ElapsedUS,
+		Speed:          rep.Speed,
+		Partial:        rep.Partial,
+		ShardsAnswered: rep.ShardsAnswered,
+		ShardsTotal:    rep.ShardsTotal,
+	}
 }
 
 // SearchImages answers several queries in one distributed pass (each shard
@@ -99,14 +119,7 @@ func (c *ClusterSystem) SearchImages(imgs []*Image) ([]*Result, error) {
 	}
 	out := make([]*Result, len(reps))
 	for i, rep := range reps {
-		out[i] = &Result{
-			ID:        rep.BestID,
-			Score:     rep.Score,
-			Accepted:  rep.Accepted,
-			Compared:  rep.Compared,
-			ElapsedUS: rep.ElapsedUS,
-			Speed:     rep.Speed,
-		}
+		out[i] = clusterResult(rep)
 	}
 	return out, nil
 }

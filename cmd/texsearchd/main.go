@@ -49,6 +49,11 @@ func main() {
 	store := flag.String("kvstore", "", `feature persistence: "", "embedded", or a host:port of a RESP server`)
 	kvListen := flag.String("kvstore-listen", "127.0.0.1:0", "listen address for the embedded kvstore")
 	kvAOF := flag.String("kvstore-aof", "", "append-only file for the embedded kvstore (survives restarts)")
+	callDeadlineMS := flag.Float64("call-deadline-ms", 30e3, "per-attempt worker call deadline, virtual ms")
+	callRetries := flag.Int("call-retries", 3, "max attempts per worker call (1 = no retries)")
+	callBackoffMS := flag.Float64("call-backoff-ms", 5, "base retry backoff, virtual ms (doubles per attempt, jittered)")
+	hedgeAfterMS := flag.Float64("hedge-after-ms", 0, "hedge straggler worker calls after this many virtual ms (0 = off)")
+	minShards := flag.Int("min-shards", 1, "minimum shards that must answer before a search fails instead of degrading")
 	flag.Parse()
 
 	cfg := engine.DefaultConfig()
@@ -89,7 +94,18 @@ func main() {
 		log.Printf("embedded kvstore listening on %s", storeAddr)
 	}
 
-	c, err := cluster.New(cluster.Config{Workers: *workers, Engine: cfg, StoreAddr: storeAddr})
+	c, err := cluster.New(cluster.Config{
+		Workers:   *workers,
+		Engine:    cfg,
+		StoreAddr: storeAddr,
+		Call: cluster.CallPolicy{
+			DeadlineUS:   *callDeadlineMS * 1000,
+			MaxAttempts:  *callRetries,
+			BackoffUS:    *callBackoffMS * 1000,
+			HedgeAfterUS: *hedgeAfterMS * 1000,
+		},
+		MinShards: *minShards,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

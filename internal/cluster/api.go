@@ -39,26 +39,48 @@ type batchSearchRequest struct {
 	RecordsB64 []string `json:"records_b64"`
 }
 
-// SearchResponse is the body returned by /v1/search.
+// SearchResponse is the body returned by /v1/search. Partial=true flags a
+// degraded answer: one or more shards were down and the result covers only
+// the shards_answered/shards_total that responded.
 type SearchResponse struct {
-	BestID    int     `json:"best_id"`
-	Score     int     `json:"score"`
-	Accepted  bool    `json:"accepted"`
-	Compared  int     `json:"compared"`
-	ElapsedUS float64 `json:"elapsed_us"`
-	Speed     float64 `json:"speed_images_per_sec"`
-	Ranked    []struct {
+	BestID         int     `json:"best_id"`
+	Score          int     `json:"score"`
+	Accepted       bool    `json:"accepted"`
+	Compared       int     `json:"compared"`
+	ElapsedUS      float64 `json:"elapsed_us"`
+	Speed          float64 `json:"speed_images_per_sec"`
+	Partial        bool    `json:"partial,omitempty"`
+	ShardsAnswered int     `json:"shards_answered"`
+	ShardsTotal    int     `json:"shards_total"`
+	Ranked         []struct {
 		RefID int `json:"ref_id"`
 		Score int `json:"score"`
 	} `json:"ranked,omitempty"`
 }
 
+// searchResponse converts a merged report to its JSON body (sans Ranked).
+func searchResponse(rep *Report) SearchResponse {
+	return SearchResponse{
+		BestID:         rep.BestID,
+		Score:          rep.Score,
+		Accepted:       rep.Accepted,
+		Compared:       rep.Compared,
+		ElapsedUS:      rep.ElapsedUS,
+		Speed:          rep.Speed,
+		Partial:        rep.Partial,
+		ShardsAnswered: rep.ShardsAnswered,
+		ShardsTotal:    rep.ShardsTotal,
+	}
+}
+
 // StatsResponse is the body returned by /v1/stats.
 type StatsResponse struct {
-	Workers        int     `json:"workers"`
-	References     int     `json:"references"`
-	CapacityImages int64   `json:"capacity_images"`
-	CacheGB        float64 `json:"cache_gb"`
+	Workers        int      `json:"workers"`
+	References     int      `json:"references"`
+	CapacityImages int64    `json:"capacity_images"`
+	CacheGB        float64  `json:"cache_gb"`
+	WorkersDead    int      `json:"workers_dead"`
+	Health         []string `json:"health"`
 }
 
 // statusRecorder captures the response code for the error counter.
@@ -92,12 +114,17 @@ func (c *Cluster) Handler() http.Handler {
 			return
 		}
 		s := c.Stats()
-		writeJSON(w, http.StatusOK, StatsResponse{
+		resp := StatsResponse{
 			Workers:        s.Workers,
 			References:     s.References,
 			CapacityImages: s.CapacityImages,
 			CacheGB:        s.CacheGB,
-		})
+			WorkersDead:    s.WorkersDead,
+		}
+		for _, h := range s.Health {
+			resp.Health = append(resp.Health, h.String())
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("/v1/textures", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -189,14 +216,7 @@ func (c *Cluster) Handler() http.Handler {
 		}
 		out := make([]SearchResponse, len(reps))
 		for i, rep := range reps {
-			out[i] = SearchResponse{
-				BestID:    rep.BestID,
-				Score:     rep.Score,
-				Accepted:  rep.Accepted,
-				Compared:  rep.Compared,
-				ElapsedUS: rep.ElapsedUS,
-				Speed:     rep.Speed,
-			}
+			out[i] = searchResponse(rep)
 		}
 		writeJSON(w, http.StatusOK, map[string][]SearchResponse{"results": out})
 	})
@@ -232,14 +252,7 @@ func (c *Cluster) Handler() http.Handler {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		resp := SearchResponse{
-			BestID:    rep.BestID,
-			Score:     rep.Score,
-			Accepted:  rep.Accepted,
-			Compared:  rep.Compared,
-			ElapsedUS: rep.ElapsedUS,
-			Speed:     rep.Speed,
-		}
+		resp := searchResponse(rep)
 		for _, cand := range rep.Ranked {
 			if len(resp.Ranked) >= 10 {
 				break

@@ -1,0 +1,540 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"texid/internal/blas"
+	"texid/internal/faultsim"
+	"texid/internal/wire"
+)
+
+// The chaos suite drives the fault-tolerant serving path through seeded
+// fault schedules and asserts the headline contract: with a fixed seed,
+// killing any minority of workers mid-stream yields a deterministic,
+// byte-identical partial result (same matches, Partial=true, correct
+// ShardsAnswered) across consecutive runs and across GOMAXPROCS settings.
+// Determinism comes from three design rules the tests below pin down:
+// per-peer fault streams (faultsim), virtual-clock-only timing, and
+// call-count-driven health transitions.
+
+// chaosScenario is one table entry: a cluster shape, a fault plan, and the
+// properties the (deterministic) outcome must satisfy.
+type chaosScenario struct {
+	name      string
+	workers   int
+	refs      int
+	searches  int
+	minShards int
+	// directEnroll loads references straight into the shard engines,
+	// bypassing the fault transport (for schedules whose rates would make
+	// cluster.Add non-idempotent, e.g. reply loss).
+	directEnroll bool
+	plan         func(addsPerWorker int) faultsim.Plan
+	call         CallPolicy
+	health       HealthPolicy
+	// check runs once per scenario (first run, default GOMAXPROCS) on the
+	// collected outcome.
+	check func(t *testing.T, out *chaosOutcome)
+}
+
+// chaosOutcome is everything one scenario run produced.
+type chaosOutcome struct {
+	c          *Cluster
+	reports    []*Report // nil where the search errored
+	errors     []error
+	transcript []byte // concatenated wire summaries / error strings
+}
+
+// runChaos executes a scenario once and returns the outcome. Reference and
+// query features derive from a fixed rng seed, so every run sees identical
+// inputs.
+func runChaos(t *testing.T, sc chaosScenario) *chaosOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(97))
+	refs := make([]*blas.Matrix, sc.refs)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+	}
+	queries := make([]*blas.Matrix, sc.searches)
+	for i := range queries {
+		// Every query targets reference 0 — enrolled on worker 0, which no
+		// scenario kills — so a correct partial merge keeps finding it.
+		queries[i] = queryFor(rng, refs[0], 32)
+	}
+
+	addsPerWorker := sc.refs / sc.workers
+	if sc.directEnroll {
+		addsPerWorker = 0
+	}
+	c, err := New(Config{
+		Workers:   sc.workers,
+		Engine:    smallEngine(),
+		Call:      sc.call,
+		Health:    sc.health,
+		MinShards: sc.minShards,
+		Fault:     faultsim.New(sc.plan(addsPerWorker)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range refs {
+		if sc.directEnroll {
+			if err := c.workers[i%sc.workers].eng.Add(i, f, nil); err != nil {
+				t.Fatalf("direct enroll %d: %v", i, err)
+			}
+		} else if err := c.Add(i, f, nil); err != nil {
+			t.Fatalf("enroll %d: %v", i, err)
+		}
+	}
+
+	out := &chaosOutcome{c: c, reports: make([]*Report, sc.searches), errors: make([]error, sc.searches)}
+	for s := 0; s < sc.searches; s++ {
+		rep, err := c.Search(queries[s], nil)
+		out.reports[s], out.errors[s] = rep, err
+		if err != nil {
+			out.transcript = append(out.transcript, fmt.Sprintf("search %d error: %v\n", s, err)...)
+			continue
+		}
+		out.transcript = append(out.transcript, wire.EncodeSummary(rep.Summary())...)
+	}
+	return out
+}
+
+// assertDeterministic re-runs a scenario and requires a byte-identical
+// transcript: 3 consecutive runs, then one run each at GOMAXPROCS 1 and 4.
+func assertDeterministic(t *testing.T, sc chaosScenario, want []byte) {
+	t.Helper()
+	for run := 0; run < 2; run++ {
+		if got := runChaos(t, sc).transcript; !bytes.Equal(got, want) {
+			t.Fatalf("run %d transcript differs from first run", run+2)
+		}
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		got := runChaos(t, sc).transcript
+		runtime.GOMAXPROCS(prev)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("GOMAXPROCS=%d transcript differs", procs)
+		}
+	}
+}
+
+func chaosScenarios() []chaosScenario {
+	return []chaosScenario{
+		{
+			// The headline case: one of four workers dies between the first
+			// and second search. Every later search is a partial result that
+			// still finds the target.
+			name: "kill-one-of-four", workers: 4, refs: 8, searches: 8,
+			plan: func(adds int) faultsim.Plan {
+				return faultsim.Plan{Seed: 11, Kill: map[string]uint64{workerName(1): uint64(adds) + 2}}
+			},
+			check: func(t *testing.T, out *chaosOutcome) {
+				first := out.reports[0]
+				if first == nil || first.Partial || first.ShardsAnswered != 4 {
+					t.Fatalf("pre-kill search degraded: %+v", first)
+				}
+				for s := 1; s < len(out.reports); s++ {
+					rep := out.reports[s]
+					if out.errors[s] != nil {
+						t.Fatalf("search %d errored: %v", s, out.errors[s])
+					}
+					if !rep.Partial || rep.ShardsAnswered != 3 || rep.ShardsTotal != 4 {
+						t.Fatalf("search %d: partial=%v answered=%d/%d",
+							s, rep.Partial, rep.ShardsAnswered, rep.ShardsTotal)
+					}
+					if rep.PerWorker[1] != -1 {
+						t.Fatalf("search %d: dead shard billed latency %v", s, rep.PerWorker[1])
+					}
+					if rep.BestID != 0 || !rep.Accepted {
+						t.Fatalf("search %d lost the target on surviving shards: best=%d", s, rep.BestID)
+					}
+				}
+				if st := out.c.Health()[1]; st != Dead && st != Probing {
+					t.Fatalf("killed worker health = %v", st)
+				}
+				if out.c.Stats().WorkersDead == 0 && out.c.Health()[1] == Dead {
+					t.Fatal("stats do not report the dead shard")
+				}
+			},
+		},
+		{
+			// A minority (two of five) dies at staggered points mid-stream.
+			name: "kill-two-of-five", workers: 5, refs: 10, searches: 6,
+			plan: func(adds int) faultsim.Plan {
+				return faultsim.Plan{Seed: 12, Kill: map[string]uint64{
+					workerName(2): uint64(adds) + 1,
+					workerName(4): uint64(adds) + 3,
+				}}
+			},
+			check: func(t *testing.T, out *chaosOutcome) {
+				last := out.reports[len(out.reports)-1]
+				if last == nil || !last.Partial || last.ShardsAnswered != 3 || last.ShardsTotal != 5 {
+					t.Fatalf("final search: %+v (err %v)", last, out.errors[len(out.errors)-1])
+				}
+				if last.BestID != 0 || !last.Accepted {
+					t.Fatalf("majority merge lost the target: %+v", last)
+				}
+			},
+		},
+		{
+			// Random call drops are absorbed by bounded retries: service
+			// stays up, the retry counter ticks.
+			name: "drop-retry-storm", workers: 3, refs: 6, searches: 10,
+			plan: func(adds int) faultsim.Plan {
+				return faultsim.Plan{Seed: 13, DropRate: 0.25}
+			},
+			check: func(t *testing.T, out *chaosOutcome) {
+				ok := 0
+				for s, rep := range out.reports {
+					if out.errors[s] == nil && rep.BestID == 0 && rep.Accepted {
+						ok++
+					}
+				}
+				if ok < len(out.reports)/2 {
+					t.Fatalf("only %d/%d searches survived a 25%% drop rate", ok, len(out.reports))
+				}
+				if out.c.mWorkerRetries.Value() == 0 {
+					t.Fatal("drops never triggered a retry")
+				}
+			},
+		},
+		{
+			// The full fault mix (drops, hangs, lost replies, latency
+			// spikes) over the search path. Enrollment bypasses the
+			// transport: retrying a reply-lost Add is not idempotent.
+			name: "flaky-mix", workers: 3, refs: 6, searches: 12, directEnroll: true,
+			call: CallPolicy{MaxAttempts: 4},
+			plan: func(adds int) faultsim.Plan {
+				return faultsim.Plan{Seed: 14, DropRate: 0.1, HangRate: 0.05, ReplyLossRate: 0.05, SlowRate: 0.3, SlowUS: 2000}
+			},
+			check: func(t *testing.T, out *chaosOutcome) {
+				ok := 0
+				for s, rep := range out.reports {
+					if out.errors[s] == nil && rep.BestID == 0 && rep.Accepted {
+						ok++
+					}
+				}
+				if ok < len(out.reports)/2 {
+					t.Fatalf("only %d/%d searches survived the fault mix", ok, len(out.reports))
+				}
+			},
+		},
+		{
+			// Permanent latency spikes with aggressive hedging: every
+			// straggling call gets a duplicate, and hedged latency wins.
+			name: "latency-hedge", workers: 3, refs: 6, searches: 4, directEnroll: true,
+			call: CallPolicy{HedgeAfterUS: 1},
+			plan: func(adds int) faultsim.Plan {
+				return faultsim.Plan{Seed: 15, SlowRate: 1, SlowUS: 3000}
+			},
+			check: func(t *testing.T, out *chaosOutcome) {
+				for s, rep := range out.reports {
+					if out.errors[s] != nil || rep.Partial {
+						t.Fatalf("search %d degraded under pure latency faults: %+v (%v)", s, rep, out.errors[s])
+					}
+				}
+				if out.c.mWorkerHedges.Value() == 0 {
+					t.Fatal("stragglers were never hedged")
+				}
+			},
+		},
+		{
+			// Losing every shard fails the search outright (no silent empty
+			// answers), and the error is itself deterministic.
+			name: "all-dead-errors", workers: 3, refs: 6, searches: 4,
+			plan: func(adds int) faultsim.Plan {
+				return faultsim.Plan{Seed: 16, Kill: map[string]uint64{
+					workerName(0): uint64(adds) + 1,
+					workerName(1): uint64(adds) + 1,
+					workerName(2): uint64(adds) + 1,
+				}}
+			},
+			check: func(t *testing.T, out *chaosOutcome) {
+				for s, err := range out.errors {
+					if err == nil {
+						t.Fatalf("search %d succeeded with every shard dead", s)
+					}
+				}
+			},
+		},
+		{
+			// A MinShards quorum turns graceful degradation back into hard
+			// failure when coverage drops below the floor.
+			name: "quorum-too-strict", workers: 4, refs: 8, searches: 3, minShards: 4,
+			plan: func(adds int) faultsim.Plan {
+				return faultsim.Plan{Seed: 17, Kill: map[string]uint64{workerName(3): uint64(adds) + 1}}
+			},
+			check: func(t *testing.T, out *chaosOutcome) {
+				for s, err := range out.errors {
+					if err == nil {
+						t.Fatalf("search %d passed below the shard quorum", s)
+					}
+				}
+			},
+		},
+	}
+}
+
+// TestChaosDeterministicPartialResults is the acceptance gate: every
+// scenario's full transcript (wire-encoded summaries and error strings) is
+// byte-identical across 3 consecutive runs and at GOMAXPROCS ∈ {1, 4}, and
+// satisfies its scenario-specific degradation properties.
+func TestChaosDeterministicPartialResults(t *testing.T) {
+	for _, sc := range chaosScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			first := runChaos(t, sc)
+			if sc.check != nil {
+				sc.check(t, first)
+			}
+			if len(first.transcript) == 0 {
+				t.Fatal("empty transcript")
+			}
+			assertDeterministic(t, sc, first.transcript)
+		})
+	}
+}
+
+// TestChaosZeroFaultBitIdentical pins the zero-overhead contract: a cluster
+// carrying a zero-rate injector (the full transport seam active, no faults
+// scheduled) produces byte-for-byte the results of a cluster with no
+// injector at all (the direct pre-fault-layer path).
+func TestChaosZeroFaultBitIdentical(t *testing.T) {
+	run := func(fault *faultsim.Injector) []byte {
+		rng := rand.New(rand.NewSource(41))
+		c, err := New(Config{Workers: 3, Engine: smallEngine(), Fault: fault})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*blas.Matrix, 6)
+		for i := range refs {
+			refs[i] = unitFeatures(rng, 16, 24)
+			if err := c.Add(i, refs[i], nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var transcript []byte
+		for _, target := range []int{0, 3, 5} {
+			rep, err := c.Search(queryFor(rng, refs[target], 32), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Partial || rep.ShardsAnswered != 3 {
+				t.Fatalf("degradation without faults: %+v", rep)
+			}
+			transcript = append(transcript, wire.EncodeSummary(rep.Summary())...)
+		}
+		return transcript
+	}
+
+	direct := run(nil)
+	seamed := run(faultsim.New(faultsim.Plan{Seed: 99}))
+	if !bytes.Equal(direct, seamed) {
+		t.Fatal("zero-fault injector path diverges from the direct path")
+	}
+}
+
+// TestChaosBatchPartial verifies SearchBatch degrades like Search: a dead
+// shard marks every per-query report partial, deterministically.
+func TestChaosBatchPartial(t *testing.T) {
+	sc := chaosScenario{workers: 3, refs: 6, searches: 0}
+	run := func() ([]*Report, []byte) {
+		rng := rand.New(rand.NewSource(43))
+		refs := make([]*blas.Matrix, sc.refs)
+		for i := range refs {
+			refs[i] = unitFeatures(rng, 16, 24)
+		}
+		adds := sc.refs / sc.workers
+		c, err := New(Config{Workers: sc.workers, Engine: smallEngine(),
+			Fault: faultsim.New(faultsim.Plan{Seed: 44, Kill: map[string]uint64{workerName(2): uint64(adds) + 1}})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range refs {
+			if err := c.Add(i, f, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		queries := []*blas.Matrix{queryFor(rng, refs[0], 32), queryFor(rng, refs[1], 32)}
+		reps, err := c.SearchBatch(queries, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var transcript []byte
+		for _, rep := range reps {
+			transcript = append(transcript, wire.EncodeSummary(rep.Summary())...)
+		}
+		return reps, transcript
+	}
+
+	reps, first := run()
+	for qi, rep := range reps {
+		if !rep.Partial || rep.ShardsAnswered != 2 || rep.ShardsTotal != 3 {
+			t.Fatalf("query %d: partial=%v answered=%d/%d", qi, rep.Partial, rep.ShardsAnswered, rep.ShardsTotal)
+		}
+		if rep.BestID != qi || !rep.Accepted {
+			t.Fatalf("query %d merged wrong: best=%d accepted=%v", qi, rep.BestID, rep.Accepted)
+		}
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		_, got := run()
+		runtime.GOMAXPROCS(prev)
+		if !bytes.Equal(got, first) {
+			t.Fatalf("GOMAXPROCS=%d batch transcript differs", procs)
+		}
+	}
+}
+
+// TestChaosPartitionHealsAndProbeResurrects drives the full failure
+// detector loop: a virtual-clock partition window takes a worker out,
+// repeated failures mark it Dead, probe calls keep testing it, and once the
+// worker's clock passes the window the probe succeeds and the worker
+// returns to Healthy (full, non-partial service).
+func TestChaosPartitionHealsAndProbeResurrects(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	refs := make([]*blas.Matrix, 4)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+	}
+	query := queryFor(rng, refs[0], 32)
+
+	// The window opens at virtual time zero and is tiny: any simulated work
+	// on the worker carries its clock past it, but while every call is
+	// refused the clock is frozen and the partition holds.
+	c, err := New(Config{
+		Workers: 2, Engine: smallEngine(),
+		Health: HealthPolicy{SuspectAfter: 1, DeadAfter: 2, ProbeEvery: 1},
+		Fault: faultsim.New(faultsim.Plan{Seed: 46,
+			Partitions: []faultsim.Partition{{Peer: workerName(1), FromUS: 0, ToUS: 1}}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enroll directly: the partition is live from t=0 and would refuse adds.
+	for i, f := range refs {
+		if err := c.workers[i%2].eng.Add(i, f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Searches 1..2 fail on worker-1 (partitioned) and kill it.
+	for s := 0; s < 2; s++ {
+		rep, err := c.Search(query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Partial || rep.ShardsAnswered != 1 {
+			t.Fatalf("search %d during partition: %+v", s, rep)
+		}
+	}
+	if st := c.Health()[1]; st != Dead {
+		t.Fatalf("worker-1 after 2 failures = %v, want dead", st)
+	}
+	// The next search probes (ProbeEvery=1); the probe still lands inside
+	// the window, so the worker stays dead and service stays partial.
+	rep, err := c.Search(query, nil)
+	if err != nil || !rep.Partial {
+		t.Fatalf("probe-into-partition search: %+v (%v)", rep, err)
+	}
+	if st := c.Health()[1]; st != Dead {
+		t.Fatalf("worker-1 after failed probe = %v, want dead", st)
+	}
+
+	// The worker performs local simulated work: its virtual clock moves
+	// past the window and the partition heals.
+	if _, err := c.workers[1].eng.Search(query, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = c.Search(query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial || rep.ShardsAnswered != 2 {
+		t.Fatalf("post-heal search still degraded: %+v", rep)
+	}
+	if st := c.Health()[1]; st != Healthy {
+		t.Fatalf("worker-1 after successful probe = %v, want healthy", st)
+	}
+}
+
+// TestChaosRebalanceRestoresCoverage kills a shard, observes its references
+// drop out of the answer, then drains the dead shard through the engine
+// export path and verifies full coverage returns (while the dead worker
+// itself stays routed around).
+func TestChaosRebalanceRestoresCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	refs := make([]*blas.Matrix, 6)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+	}
+	adds := len(refs) / 3
+	c, err := New(Config{Workers: 3, Engine: smallEngine(),
+		Fault: faultsim.New(faultsim.Plan{Seed: 48, Kill: map[string]uint64{workerName(1): uint64(adds) + 1}})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range refs {
+		if err := c.Add(i, f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference 1 lives on (killed) worker-1: partial searches miss it.
+	query := queryFor(rng, refs[1], 32)
+	for s := 0; s < 3; s++ {
+		rep, err := c.Search(query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Partial || rep.BestID == 1 {
+			t.Fatalf("search %d against dead shard: partial=%v best=%d", s, rep.Partial, rep.BestID)
+		}
+	}
+	if st := c.Health()[1]; st != Dead {
+		t.Fatalf("worker-1 = %v, want dead", st)
+	}
+
+	moved, err := c.Rebalance(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 {
+		t.Fatalf("rebalanced %d references, want 2", moved)
+	}
+	rep, err := c.Search(query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestID != 1 || !rep.Accepted {
+		t.Fatalf("rebalanced reference not found: %+v", rep)
+	}
+	if rep.Compared != len(refs) {
+		t.Fatalf("post-rebalance coverage %d/%d references", rep.Compared, len(refs))
+	}
+}
+
+// TestSummaryRoundTrip pins the wire form the transcripts are built from.
+func TestSummaryRoundTrip(t *testing.T) {
+	s := &wire.SearchSummary{
+		BestID: -1, Score: 42, Accepted: true, Partial: true,
+		ShardsAnswered: 3, ShardsTotal: 4, Compared: 1000, ElapsedUS: 1234.5,
+		Ranked: []wire.RankedMatch{{RefID: 7, Score: 40}, {RefID: -1, Score: 2}},
+	}
+	b := wire.EncodeSummary(s)
+	got, err := wire.DecodeSummary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BestID != s.BestID || got.Partial != s.Partial || got.ShardsAnswered != 3 ||
+		len(got.Ranked) != 2 || got.Ranked[1].RefID != -1 {
+		t.Fatalf("round trip mangled summary: %+v", got)
+	}
+	if _, err := wire.DecodeSummary(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated summary accepted")
+	}
+}

@@ -6,9 +6,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"texid/internal/wire"
 )
+
+// DefaultClientTimeout bounds every REST call unless WithTimeout overrides
+// it. Generous enough for large batch searches, small enough that a hung
+// coordinator surfaces as an error instead of wedging the caller forever.
+const DefaultClientTimeout = 30 * time.Second
 
 // Client is a Go client for the cluster's REST API (used by the texsearch
 // CLI and usable by any downstream service).
@@ -17,9 +23,30 @@ type Client struct {
 	http *http.Client
 }
 
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithTimeout sets the per-request timeout (covering connect, request, and
+// the full response body). 0 disables the bound entirely.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// WithHTTPClient swaps the underlying *http.Client (custom transports,
+// proxies, instrumentation). Later WithTimeout options apply to it.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
 // NewClient targets a coordinator at baseURL (e.g. "http://127.0.0.1:8080").
-func NewClient(baseURL string) *Client {
-	return &Client{base: baseURL, http: http.DefaultClient}
+// Requests time out after DefaultClientTimeout unless overridden with
+// WithTimeout.
+func NewClient(baseURL string, opts ...Option) *Client {
+	c := &Client{base: baseURL, http: &http.Client{Timeout: DefaultClientTimeout}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 func (c *Client) doJSON(method, path string, body any, out any) error {

@@ -4,20 +4,34 @@
 // scatters every query to all shards and merges the ranked results, an
 // optional kvstore (Redis-role) persistence layer for serialized feature
 // records, and a RESTful HTTP API for add/delete/update/search.
+//
+// Coordinator→worker calls go through a fault-tolerant transport seam:
+// per-call deadlines, bounded retries with deterministic jittered backoff,
+// hedged requests for stragglers, and a per-worker health state machine
+// (healthy → suspect → dead → probing) that routes around dead shards.
+// Searches degrade gracefully — surviving shards still answer, with the
+// merged Report flagged Partial — and the whole layer is driven by virtual
+// time only, so chaos schedules (internal/faultsim) replay bit-identically.
 package cluster
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"texid/internal/blas"
 	"texid/internal/engine"
+	"texid/internal/faultsim"
 	"texid/internal/kvstore"
 	"texid/internal/match"
 	"texid/internal/metrics"
 	"texid/internal/sift"
 	"texid/internal/wire"
 )
+
+// storeTimeout bounds kvstore round-trips so a hung metadata store cannot
+// wedge enrollment (wall-clock: the kvstore is real TCP, not simulated).
+const storeTimeout = 5 * time.Second
 
 // Config configures a cluster.
 type Config struct {
@@ -28,6 +42,19 @@ type Config struct {
 	// StoreAddr, when non-empty, connects the coordinator to a kvstore
 	// server where every enrolled record is persisted (key "tex:<id>").
 	StoreAddr string
+	// Call tunes deadlines, retries, backoff, and hedging for
+	// coordinator→worker calls. Zero value = DefaultCallPolicy().
+	Call CallPolicy
+	// Health tunes the per-worker failure detector. Zero value = defaults.
+	Health HealthPolicy
+	// Fault, when non-nil, runs every coordinator→worker call through the
+	// given deterministic fault injector (chaos tests and failure drills;
+	// nil in production serving).
+	Fault *faultsim.Injector
+	// MinShards is the minimum number of shards that must answer before a
+	// search degrades to a partial result; with fewer survivors the search
+	// fails outright. <= 0 means 1 (any survivor yields an answer).
+	MinShards int
 }
 
 // DefaultConfig returns the paper's deployment: 14 P100 workers with the
@@ -36,23 +63,32 @@ func DefaultConfig() Config {
 	return Config{Workers: 14, Engine: engine.DefaultConfig()}
 }
 
+// workerName returns the stable peer name fault schedules key on.
+func workerName(i int) string { return fmt.Sprintf("worker-%d", i) }
+
 // Cluster is the coordinator plus its shard workers.
 type Cluster struct {
-	cfg     Config
-	workers []*engine.Engine
-	store   *kvstore.Client
+	cfg       Config
+	call      CallPolicy
+	minShards int
+	workers   []*worker
+	store     *kvstore.Client
 
 	mu     sync.Mutex
 	shards map[int]int // texture id -> worker index
 	next   int         // round-robin cursor
 
 	// Service metrics, exposed at /metrics.
-	reg            *metrics.Registry
-	mSearches      *metrics.Counter
-	mComparisons   *metrics.Counter
-	mAPIRequests   *metrics.Counter
-	mAPIErrors     *metrics.Counter
-	mSearchLatency *metrics.Histogram
+	reg              *metrics.Registry
+	mSearches        *metrics.Counter
+	mComparisons     *metrics.Counter
+	mAPIRequests     *metrics.Counter
+	mAPIErrors       *metrics.Counter
+	mSearchLatency   *metrics.Histogram
+	mWorkerRetries   *metrics.Counter
+	mWorkerFailures  *metrics.Counter
+	mWorkerHedges    *metrics.Counter
+	mPartialSearches *metrics.Counter
 }
 
 // New builds the cluster, creating one engine per worker.
@@ -60,22 +96,42 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one worker, got %d", cfg.Workers)
 	}
-	c := &Cluster{cfg: cfg, shards: make(map[int]int), reg: metrics.NewRegistry()}
+	c := &Cluster{
+		cfg:       cfg,
+		call:      cfg.Call.withDefaults(),
+		minShards: cfg.MinShards,
+		shards:    make(map[int]int),
+		reg:       metrics.NewRegistry(),
+	}
+	if c.minShards <= 0 {
+		c.minShards = 1
+	}
+	if c.minShards > cfg.Workers {
+		return nil, fmt.Errorf("cluster: MinShards %d exceeds worker count %d", c.minShards, cfg.Workers)
+	}
 	c.mSearches = c.reg.Counter("texid_searches_total", "one-to-many searches served")
 	c.mComparisons = c.reg.Counter("texid_comparisons_total", "reference comparisons performed")
 	c.mAPIRequests = c.reg.Counter("texid_api_requests_total", "HTTP API requests")
 	c.mAPIErrors = c.reg.Counter("texid_api_errors_total", "HTTP API error responses")
 	c.mSearchLatency = c.reg.Histogram("texid_search_sim_latency_ms",
 		"simulated GPU latency per search (ms)", metrics.DefBuckets)
+	c.mWorkerRetries = c.reg.Counter("texid_worker_retries_total", "worker call retry attempts")
+	c.mWorkerFailures = c.reg.Counter("texid_worker_call_failures_total", "failed worker call attempts")
+	c.mWorkerHedges = c.reg.Counter("texid_worker_hedges_total", "hedged worker requests issued")
+	c.mPartialSearches = c.reg.Counter("texid_partial_searches_total", "searches answered from a strict subset of shards")
 	for i := 0; i < cfg.Workers; i++ {
 		e, err := engine.New(cfg.Engine)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
-		c.workers = append(c.workers, e)
+		w := &worker{idx: i, name: workerName(i), eng: e, health: newHealthFSM(cfg.Health)}
+		if cfg.Fault != nil {
+			w.peer = cfg.Fault.Peer(w.name)
+		}
+		c.workers = append(c.workers, w)
 	}
 	if cfg.StoreAddr != "" {
-		cl, err := kvstore.Dial(cfg.StoreAddr)
+		cl, err := kvstore.DialTimeout(cfg.StoreAddr, storeTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: connecting to kvstore: %w", err)
 		}
@@ -96,14 +152,21 @@ func (c *Cluster) Close() error {
 }
 
 // Workers returns the shard engines (for stats and benchmarks).
-func (c *Cluster) Workers() []*engine.Engine { return c.workers }
+func (c *Cluster) Workers() []*engine.Engine {
+	out := make([]*engine.Engine, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.eng
+	}
+	return out
+}
 
 // storeKey is the kvstore key of a texture record.
 func storeKey(id int) string { return fmt.Sprintf("tex:%d", id) }
 
 // Add enrolls a texture: references are spread round-robin so all shards
 // stay equally loaded ("all the reference feature matrices are equally
-// allocated to those 14 GPU containers"). The record is persisted to the
+// allocated to those 14 GPU containers"), routing around workers the
+// failure detector has declared dead. The record is persisted to the
 // kvstore when one is configured.
 func (c *Cluster) Add(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
 	c.mu.Lock()
@@ -111,15 +174,23 @@ func (c *Cluster) Add(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: duplicate texture id %d", id)
 	}
-	w := c.next % len(c.workers)
-	c.next++
+	wi, err := c.pickWorkerLocked()
 	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
 
-	if err := c.workers[w].Add(id, feats, kps); err != nil {
+	w := c.workers[wi]
+	if _, err := c.do(w, opAdd, func() (float64, error) {
+		if err := w.eng.Add(id, feats, kps); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}); err != nil {
 		return err
 	}
 	c.mu.Lock()
-	c.shards[id] = w
+	c.shards[id] = wi
 	c.mu.Unlock()
 
 	if c.store != nil {
@@ -151,7 +222,7 @@ func (c *Cluster) AddPhantom(count int) error {
 		if n == 0 {
 			continue
 		}
-		if err := w.AddPhantom(start, n); err != nil {
+		if err := w.eng.AddPhantom(start, n); err != nil {
 			return fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 		start += n
@@ -170,7 +241,7 @@ func (c *Cluster) Remove(id int) bool {
 	if !ok {
 		return false
 	}
-	removed := c.workers[w].Remove(id)
+	removed := c.workers[w].eng.Remove(id)
 	if c.store != nil {
 		// Best-effort: a failed delete leaves an orphaned record that the
 		// next enrollment under this id overwrites.
@@ -187,7 +258,7 @@ func (c *Cluster) Update(id int, feats *blas.Matrix, kps []sift.Keypoint) error 
 	if !ok {
 		return c.Add(id, feats, kps)
 	}
-	if err := c.workers[w].Update(id, feats, kps); err != nil {
+	if err := c.workers[w].eng.Update(id, feats, kps); err != nil {
 		return err
 	}
 	if c.store != nil {
@@ -212,42 +283,102 @@ type Report struct {
 	Accepted bool
 	Ranked   []match.SearchResult // top candidates across all shards
 	Compared int
-	// ElapsedUS is the slowest shard's simulated time (shards run on
-	// separate GPUs in parallel); Speed is the aggregate comparison
+	// ElapsedUS is the slowest answering shard's coordinator-observed
+	// latency (shards run on separate GPUs in parallel; retries, backoff,
+	// and injected latency count); Speed is the aggregate comparison
 	// throughput.
 	ElapsedUS float64
 	Speed     float64
-	PerWorker []float64 // per-shard elapsed, for load-balance inspection
+	// PerWorker is per-shard observed latency, -1 for shards that did not
+	// answer (for load-balance and degradation inspection).
+	PerWorker []float64
+	// Partial reports degraded service: at least one shard did not answer
+	// and the results cover only the surviving shards' references.
+	Partial bool
+	// ShardsAnswered / ShardsTotal count the shards whose results are
+	// merged into this report.
+	ShardsAnswered int
+	ShardsTotal    int
 }
 
-// Search scatters the query to every shard in parallel and merges the
-// results. A nil feats runs a phantom (timing-only) search.
+// Summary converts the report to its stable wire form. The chaos suite
+// serializes summaries to assert byte-identical results across runs and
+// GOMAXPROCS settings.
+func (r *Report) Summary() *wire.SearchSummary {
+	s := &wire.SearchSummary{
+		BestID:         int64(r.BestID),
+		Score:          int64(r.Score),
+		Accepted:       r.Accepted,
+		Partial:        r.Partial,
+		ShardsAnswered: r.ShardsAnswered,
+		ShardsTotal:    r.ShardsTotal,
+		Compared:       int64(r.Compared),
+		ElapsedUS:      r.ElapsedUS,
+	}
+	for _, m := range r.Ranked {
+		s.Ranked = append(s.Ranked, wire.RankedMatch{RefID: int64(m.RefID), Score: int64(m.Score)})
+	}
+	return s
+}
+
+// shardResult is one worker's contribution to a scatter-gather search.
+type shardResult struct {
+	rep *engine.Report
+	bat *engine.BatchReport
+	el  float64
+	err error
+}
+
+// Search scatters the query to every live shard in parallel and merges the
+// results. A nil feats runs a phantom (timing-only) search. Shards that
+// fail after retries are routed around: the merged report covers the
+// survivors and is marked Partial. The search fails only when fewer than
+// MinShards shards answer.
 func (c *Cluster) Search(feats *blas.Matrix, kps []sift.Keypoint) (*Report, error) {
-	reports := make([]*engine.Report, len(c.workers))
-	errs := make([]error, len(c.workers))
+	results := make([]shardResult, len(c.workers))
 	var wg sync.WaitGroup
 	for i, w := range c.workers {
 		wg.Add(1)
-		go func(i int, w *engine.Engine) {
+		go func(i int, w *worker) {
 			defer wg.Done()
-			reports[i], errs[i] = w.Search(feats, kps)
+			var rep *engine.Report
+			el, err := c.do(w, opSearch, func() (float64, error) {
+				r, err := w.eng.Search(feats, kps)
+				if err != nil {
+					return 0, err
+				}
+				rep = r
+				return r.ElapsedUS, nil
+			})
+			results[i] = shardResult{rep: rep, el: el, err: err}
 		}(i, w)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
-		}
-	}
 
-	merged := &Report{BestID: -1, PerWorker: make([]float64, len(reports))}
-	for i, r := range reports {
-		merged.Compared += r.Compared
-		merged.PerWorker[i] = r.ElapsedUS
-		if r.ElapsedUS > merged.ElapsedUS {
-			merged.ElapsedUS = r.ElapsedUS
+	merged := &Report{BestID: -1, ShardsTotal: len(c.workers), PerWorker: make([]float64, len(results))}
+	var firstErr error
+	for i, r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: worker %d: %w", i, r.err)
+			}
+			merged.PerWorker[i] = -1
+			continue
 		}
-		merged.Ranked = append(merged.Ranked, r.Ranked...)
+		merged.ShardsAnswered++
+		merged.Compared += r.rep.Compared
+		merged.PerWorker[i] = r.el
+		if r.el > merged.ElapsedUS {
+			merged.ElapsedUS = r.el
+		}
+		merged.Ranked = append(merged.Ranked, r.rep.Ranked...)
+	}
+	if err := c.checkQuorum(merged.ShardsAnswered, firstErr); err != nil {
+		return nil, err
+	}
+	merged.Partial = merged.ShardsAnswered < merged.ShardsTotal
+	if merged.Partial {
+		c.mPartialSearches.Inc()
 	}
 	if merged.ElapsedUS > 0 {
 		merged.Speed = float64(merged.Compared) / (merged.ElapsedUS * 1e-6)
@@ -268,37 +399,82 @@ func (c *Cluster) Search(feats *blas.Matrix, kps []sift.Keypoint) (*Report, erro
 	return merged, nil
 }
 
-// SearchBatch scatters a batch of queries to every shard (each worker
+// checkQuorum enforces the MinShards floor on a merged search.
+func (c *Cluster) checkQuorum(answered int, firstErr error) error {
+	if answered == 0 {
+		return fmt.Errorf("cluster: no shard answered: %w", firstErr)
+	}
+	if answered < c.minShards {
+		return fmt.Errorf("cluster: only %d/%d shards answered, need %d: %w",
+			answered, len(c.workers), c.minShards, firstErr)
+	}
+	return nil
+}
+
+// SearchBatch scatters a batch of queries to every live shard (each worker
 // matches the whole query batch with one multi-query GEMM per reference
-// batch) and merges per-query results. All query matrices must have the
-// engine's descriptor dimension; shorter feature counts are padded by the
-// engine.
+// batch) and merges per-query results, degrading to partial results like
+// Search. All query matrices must have the engine's descriptor dimension;
+// shorter feature counts are padded by the engine.
 func (c *Cluster) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoint) ([]*Report, error) {
-	batches := make([]*engine.BatchReport, len(c.workers))
-	errs := make([]error, len(c.workers))
+	results := make([]shardResult, len(c.workers))
 	var wg sync.WaitGroup
 	for i, w := range c.workers {
 		wg.Add(1)
-		go func(i int, w *engine.Engine) {
+		go func(i int, w *worker) {
 			defer wg.Done()
-			batches[i], errs[i] = w.SearchBatch(queryFeats, queryKps)
+			var br *engine.BatchReport
+			el, err := c.do(w, opSearchBatch, func() (float64, error) {
+				b, err := w.eng.SearchBatch(queryFeats, queryKps)
+				if err != nil {
+					return 0, err
+				}
+				br = b
+				return b.ElapsedUS, nil
+			})
+			results[i] = shardResult{bat: br, el: el, err: err}
 		}(i, w)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: worker %d: %w", i, err)
+
+	answered := 0
+	var firstErr error
+	for i, r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: worker %d: %w", i, r.err)
+			}
+			continue
 		}
+		answered++
 	}
+	if err := c.checkQuorum(answered, firstErr); err != nil {
+		return nil, err
+	}
+	partial := answered < len(c.workers)
+	if partial {
+		c.mPartialSearches.Inc()
+	}
+
 	out := make([]*Report, len(queryFeats))
 	for qi := range queryFeats {
-		merged := &Report{BestID: -1, PerWorker: make([]float64, len(batches))}
-		for wi, br := range batches {
-			rep := br.Reports[qi]
+		merged := &Report{
+			BestID:         -1,
+			ShardsAnswered: answered,
+			ShardsTotal:    len(c.workers),
+			Partial:        partial,
+			PerWorker:      make([]float64, len(results)),
+		}
+		for wi, r := range results {
+			if r.err != nil {
+				merged.PerWorker[wi] = -1
+				continue
+			}
+			rep := r.bat.Reports[qi]
 			merged.Compared += rep.Compared
-			merged.PerWorker[wi] = br.ElapsedUS
-			if br.ElapsedUS > merged.ElapsedUS {
-				merged.ElapsedUS = br.ElapsedUS
+			merged.PerWorker[wi] = r.el
+			if r.el > merged.ElapsedUS {
+				merged.ElapsedUS = r.el
 			}
 			merged.Ranked = append(merged.Ranked, rep.Ranked...)
 		}
@@ -325,13 +501,59 @@ func (c *Cluster) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypo
 func (c *Cluster) Compact() (int, error) {
 	total := 0
 	for i, w := range c.workers {
-		n, err := w.Compact()
+		n, err := w.eng.Compact()
 		if err != nil {
 			return total, fmt.Errorf("cluster: worker %d: %w", i, err)
 		}
 		total += n
 	}
 	return total, nil
+}
+
+// Rebalance drains every live reference off the given worker and re-enrolls
+// it round-robin across the remaining live workers (via the engine export
+// path), updating the shard map. It restores full-coverage search after a
+// shard is declared dead — the in-process engine still holds the feature
+// data, standing in for the paper's Redis-backed re-shard — and is also the
+// drain step for planned worker removal. Returns how many references moved.
+func (c *Cluster) Rebalance(from int) (int, error) {
+	if from < 0 || from >= len(c.workers) {
+		return 0, fmt.Errorf("cluster: no worker %d", from)
+	}
+	if len(c.workers) < 2 {
+		return 0, fmt.Errorf("cluster: nowhere to rebalance to")
+	}
+	src := c.workers[from]
+	var moved []int
+	err := src.eng.Export(func(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+		c.mu.Lock()
+		wi, err := c.pickWorkerLocked()
+		for err == nil && wi == from {
+			wi, err = c.pickWorkerLocked()
+		}
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := c.workers[wi].eng.Add(id, feats, kps); err != nil {
+			return fmt.Errorf("cluster: re-homing record %d: %w", id, err)
+		}
+		c.mu.Lock()
+		c.shards[id] = wi
+		c.mu.Unlock()
+		moved = append(moved, id)
+		return nil
+	})
+	if err != nil {
+		return len(moved), err
+	}
+	for _, id := range moved {
+		src.eng.Remove(id)
+	}
+	if _, err := src.eng.Compact(); err != nil {
+		return len(moved), fmt.Errorf("cluster: compacting drained worker %d: %w", from, err)
+	}
+	return len(moved), nil
 }
 
 // Stats aggregates shard statistics.
@@ -341,17 +563,26 @@ type Stats struct {
 	CapacityImages int64
 	CacheGB        float64
 	PerWorker      []engine.Stats
+	// Health is each worker's failure-detector state; WorkersDead counts
+	// the shards currently routed around.
+	Health      []HealthState
+	WorkersDead int
 }
 
 // Stats returns cluster-wide occupancy and capacity.
 func (c *Cluster) Stats() Stats {
 	s := Stats{Workers: len(c.workers)}
 	for _, w := range c.workers {
-		ws := w.Stats()
+		ws := w.eng.Stats()
 		s.References += ws.References
 		s.CapacityImages += ws.CapacityImages
 		s.CacheGB += float64(ws.Cache.GPUBudget+ws.Cache.HostBudget) / (1 << 30)
 		s.PerWorker = append(s.PerWorker, ws)
+		h := w.health.State()
+		s.Health = append(s.Health, h)
+		if h == Dead {
+			s.WorkersDead++
+		}
 	}
 	return s
 }
@@ -395,10 +626,12 @@ func (c *Cluster) addLoaded(id int, feats *blas.Matrix, kps []sift.Keypoint) err
 		c.mu.Unlock()
 		return nil // already resident
 	}
-	w := c.next % len(c.workers)
-	c.next++
+	w, err := c.pickWorkerLocked()
 	c.mu.Unlock()
-	if err := c.workers[w].Add(id, feats, kps); err != nil {
+	if err != nil {
+		return err
+	}
+	if err := c.workers[w].eng.Add(id, feats, kps); err != nil {
 		return err
 	}
 	c.mu.Lock()

@@ -1,0 +1,65 @@
+package cluster
+
+import "testing"
+
+func TestHealthFSMTransitions(t *testing.T) {
+	h := newHealthFSM(HealthPolicy{SuspectAfter: 1, DeadAfter: 3, ProbeEvery: 2})
+
+	if !h.allow() || h.State() != Healthy {
+		t.Fatal("fresh worker must be healthy and routable")
+	}
+	h.onFailure()
+	if h.State() != Suspect {
+		t.Fatalf("after 1 failure: %v, want suspect", h.State())
+	}
+	if !h.allow() {
+		t.Fatal("suspect workers still receive traffic")
+	}
+	h.onFailure()
+	h.onFailure()
+	if h.State() != Dead {
+		t.Fatalf("after 3 failures: %v, want dead", h.State())
+	}
+
+	// Dead workers decline calls until the probe interval elapses.
+	if h.allow() {
+		t.Fatal("dead worker accepted a call before the probe interval")
+	}
+	if !h.allow() {
+		t.Fatal("second skipped call should convert to a probe (ProbeEvery=2)")
+	}
+	if h.State() != Probing {
+		t.Fatalf("probe state = %v", h.State())
+	}
+	// A failed probe goes straight back to Dead.
+	h.onFailure()
+	if h.State() != Dead {
+		t.Fatalf("after failed probe: %v, want dead", h.State())
+	}
+	// Next probe succeeds: full resurrection.
+	h.allow()
+	if !h.allow() || h.State() != Probing {
+		t.Fatalf("expected another probe, state %v", h.State())
+	}
+	h.onSuccess()
+	if h.State() != Healthy {
+		t.Fatalf("after successful probe: %v, want healthy", h.State())
+	}
+	// Consecutive-failure counter reset by the success.
+	h.onFailure()
+	if h.State() != Suspect {
+		t.Fatalf("failure count survived resurrection: %v", h.State())
+	}
+}
+
+func TestHealthPolicyDefaults(t *testing.T) {
+	p := HealthPolicy{}.withDefaults()
+	if p.SuspectAfter != 1 || p.DeadAfter != 3 || p.ProbeEvery != 4 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	// DeadAfter is clamped to at least SuspectAfter.
+	p = HealthPolicy{SuspectAfter: 5, DeadAfter: 2}.withDefaults()
+	if p.DeadAfter != 5 {
+		t.Fatalf("DeadAfter not clamped: %+v", p)
+	}
+}

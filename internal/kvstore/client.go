@@ -5,25 +5,35 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Client is a minimal RESP client for the kvstore server (or a real Redis,
 // for the commands this package implements). It serializes requests over a
 // single connection and is safe for concurrent use.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration // per-exchange I/O deadline; 0 = none
 }
 
-// Dial connects to a RESP server.
+// Dial connects to a RESP server with no I/O timeouts (a hung server blocks
+// the caller indefinitely; prefer DialTimeout in serving paths).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects to a RESP server, bounding both the connection
+// attempt and every subsequent request/response exchange by timeout
+// (0 disables the bound).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn), timeout: timeout}, nil
 }
 
 // Close closes the connection.
@@ -35,6 +45,11 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) do(args ...[]byte) (reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return reply{}, fmt.Errorf("kvstore: setting deadline: %w", err)
+		}
+	}
 	writeArrayHeader(c.w, len(args))
 	for _, a := range args {
 		writeBulk(c.w, a)

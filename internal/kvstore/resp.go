@@ -38,11 +38,15 @@ func readCommand(r *bufio.Reader) ([][]byte, error) {
 		}
 		return args, nil
 	}
+	// A command needs at least its name: reject empty arrays outright
+	// (dispatching one would index args[0]).
 	n, err := strconv.Atoi(string(line[1:]))
-	if err != nil || n < 0 || n > 1<<20 {
+	if err != nil || n < 1 || n > 1<<20 {
 		return nil, errProtocol
 	}
-	args := make([][]byte, 0, n)
+	// The element count is attacker-controlled: start small and let append
+	// grow the slice only as elements actually parse.
+	args := make([][]byte, 0, minInt(n, 64))
 	for i := 0; i < n; i++ {
 		arg, err := readBulk(r)
 		if err != nil {
@@ -51,6 +55,13 @@ func readCommand(r *bufio.Reader) ([][]byte, error) {
 		args = append(args, arg)
 	}
 	return args, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func splitInline(line []byte) [][]byte {
@@ -87,9 +98,25 @@ func readBulk(r *bufio.Reader) ([]byte, error) {
 	if n == -1 {
 		return nil, nil // null bulk
 	}
-	buf := make([]byte, n+2)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+	return readBlob(r, n)
+}
+
+// readBlob reads an n-byte payload plus its trailing CRLF. The length
+// prefix is attacker-controlled (up to maxBulkLen), so memory is committed
+// chunk by chunk, only as payload bytes actually arrive — a hostile
+// "$536870912\r\n" header costs the peer half a gigabyte of traffic, not us
+// half a gigabyte of RAM.
+func readBlob(r *bufio.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	want := n + 2
+	buf := make([]byte, 0, minInt(want, chunk))
+	for len(buf) < want {
+		k := minInt(want-len(buf), chunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
 	}
 	if buf[n] != '\r' || buf[n+1] != '\n' {
 		return nil, errProtocol
@@ -137,7 +164,18 @@ type reply struct {
 	array []reply
 }
 
+// maxReplyDepth bounds array nesting so a malicious server cannot drive the
+// recursive parser into stack exhaustion.
+const maxReplyDepth = 32
+
 func readReply(r *bufio.Reader) (reply, error) {
+	return readReplyDepth(r, 0)
+}
+
+func readReplyDepth(r *bufio.Reader, depth int) (reply, error) {
+	if depth > maxReplyDepth {
+		return reply{}, errProtocol
+	}
 	line, err := readLine(r)
 	if err != nil {
 		return reply{}, err
@@ -164,22 +202,25 @@ func readReply(r *bufio.Reader) (reply, error) {
 		if n == -1 {
 			return reply{kind: '$', bulk: nil}, nil
 		}
-		buf := make([]byte, n+2)
-		if _, err := io.ReadFull(r, buf); err != nil {
+		buf, err := readBlob(r, n)
+		if err != nil {
 			return reply{}, err
 		}
-		return reply{kind: '$', bulk: buf[:n]}, nil
+		return reply{kind: '$', bulk: buf}, nil
 	case '*':
 		n, err := strconv.Atoi(string(line[1:]))
 		if err != nil || n < 0 || n > 1<<20 {
 			return reply{}, errProtocol
 		}
-		arr := make([]reply, n)
-		for i := range arr {
-			arr[i], err = readReply(r)
+		// Like readCommand: grow with parsed elements, never with the
+		// untrusted header.
+		arr := make([]reply, 0, minInt(n, 64))
+		for i := 0; i < n; i++ {
+			el, err := readReplyDepth(r, depth+1)
 			if err != nil {
 				return reply{}, err
 			}
+			arr = append(arr, el)
 		}
 		return reply{kind: '*', array: arr}, nil
 	}

@@ -1,0 +1,40 @@
+package kvstore
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestDialTimeoutOnSilentServer verifies the bounded client: a server that
+// accepts the connection but never replies must fail the exchange within
+// the deadline instead of blocking forever.
+func TestDialTimeoutOnSilentServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never reply
+		}
+	}()
+
+	c, err := DialTimeout(ln.Addr().String(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Ping(); err == nil {
+		t.Fatal("silent server did not error")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("timed out after %v, want ~100ms", waited)
+	}
+}

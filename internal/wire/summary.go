@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// summaryMagic and summaryVersion guard SearchSummary decoding.
+const (
+	summaryMagic   = 0x54585253 // "TXRS"
+	summaryVersion = 1
+)
+
+// RankedMatch is one (reference, score) entry of a ranked result list.
+type RankedMatch struct {
+	RefID int64
+	Score int64
+}
+
+// SearchSummary is the canonical wire form of a merged search result. The
+// encoding is fully deterministic (no maps, no floats beyond the exact
+// bit pattern of ElapsedUS), so two searches that produced the same logical
+// result encode to the same bytes — the chaos suite relies on this to
+// assert byte-identical partial results across runs and GOMAXPROCS
+// settings, and the REST layer can use it as a stable cache key.
+type SearchSummary struct {
+	BestID         int64 // -1 when no match was accepted
+	Score          int64
+	Accepted       bool
+	Partial        bool
+	ShardsAnswered int
+	ShardsTotal    int
+	Compared       int64
+	ElapsedUS      float64
+	Ranked         []RankedMatch
+}
+
+// appendVarint appends v zigzag-encoded (BestID can be -1).
+func appendVarint(b []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// EncodeSummary serializes the summary to its canonical bytes.
+func EncodeSummary(s *SearchSummary) []byte {
+	b := make([]byte, 0, 32+len(s.Ranked)*8)
+	b = binary.LittleEndian.AppendUint32(b, summaryMagic)
+	b = append(b, summaryVersion)
+	b = appendVarint(b, s.BestID)
+	b = appendVarint(b, s.Score)
+	flags := byte(0)
+	if s.Accepted {
+		flags |= 1
+	}
+	if s.Partial {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = appendUvarint(b, uint64(s.ShardsAnswered))
+	b = appendUvarint(b, uint64(s.ShardsTotal))
+	b = appendVarint(b, s.Compared)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.ElapsedUS))
+	b = appendUvarint(b, uint64(len(s.Ranked)))
+	for _, m := range s.Ranked {
+		b = appendVarint(b, m.RefID)
+		b = appendVarint(b, m.Score)
+	}
+	return b
+}
+
+// varint reads a zigzag varint.
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.pos:])
+	if n <= 0 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// u64 reads a little-endian uint64.
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.b) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+
+// DecodeSummary parses bytes produced by EncodeSummary.
+func DecodeSummary(b []byte) (*SearchSummary, error) {
+	r := &reader{b: b}
+	if r.u32() != summaryMagic {
+		return nil, fmt.Errorf("%w: bad summary magic", ErrCorrupt)
+	}
+	if v := r.byte(); v != summaryVersion {
+		return nil, fmt.Errorf("wire: unsupported summary version %d", v)
+	}
+	s := &SearchSummary{}
+	s.BestID = r.varint()
+	s.Score = r.varint()
+	flags := r.byte()
+	s.Accepted = flags&1 != 0
+	s.Partial = flags&2 != 0
+	s.ShardsAnswered = int(r.uvarint())
+	s.ShardsTotal = int(r.uvarint())
+	s.Compared = r.varint()
+	s.ElapsedUS = math.Float64frombits(r.u64())
+	n := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	const maxRanked = 1 << 20
+	if n < 0 || n > maxRanked || n*2 > len(b)-r.pos {
+		return nil, fmt.Errorf("%w: unreasonable ranked count %d", ErrCorrupt, n)
+	}
+	s.Ranked = make([]RankedMatch, n)
+	for i := range s.Ranked {
+		s.Ranked[i] = RankedMatch{RefID: r.varint(), Score: r.varint()}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.pos)
+	}
+	return s, nil
+}

@@ -169,6 +169,16 @@ func Decode(b []byte) (*FeatureRecord, error) {
 	if d < 0 || m < 0 || d > maxDim || m > maxDim || d*m > maxDim {
 		return nil, fmt.Errorf("%w: unreasonable dimensions %dx%d", ErrCorrupt, d, m)
 	}
+	// Before allocating from an attacker-controlled header, confirm the
+	// input actually carries that much payload (a 20-byte message must not
+	// allocate a 64 MB matrix).
+	elem := 4
+	if rec.Precision == gpusim.FP16 {
+		elem = 2
+	}
+	if need := d * m * elem; need > len(b)-r.pos {
+		return nil, fmt.Errorf("%w: truncated feature payload", ErrCorrupt)
+	}
 	rec.Features = blas.NewMatrix(d, m)
 	if rec.Precision == gpusim.FP16 {
 		inv := float32(1)
@@ -195,6 +205,9 @@ func Decode(b []byte) (*FeatureRecord, error) {
 	}
 	if nk < 0 || nk > maxDim {
 		return nil, fmt.Errorf("%w: unreasonable keypoint count %d", ErrCorrupt, nk)
+	}
+	if need := nk * 20; need > len(b)-r.pos {
+		return nil, fmt.Errorf("%w: truncated keypoint payload", ErrCorrupt)
 	}
 	rec.Keypoints = make([]sift.Keypoint, nk)
 	for i := range rec.Keypoints {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Fuzz smoke: run every fuzz target for a short budget (default 10s each).
+# This is not a soak — it replays the committed corpus and gives the engine
+# a brief window to find new crashers. Longer local runs:
+#   FUZZTIME=5m scripts/fuzz.sh
+# A crasher minimized by `go test -fuzz` lands in the package's
+# testdata/fuzz/<Target>/ directory; commit it so the plain test suite
+# replays it forever.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+# Enumerate fuzz targets per package: `go test -fuzz` accepts only one
+# target at a time, so drive them individually.
+fail=0
+for pkg in $(go list ./...); do
+  targets=$(go test "$pkg" -list '^Fuzz' 2>/dev/null | grep '^Fuzz' || true)
+  [[ -z "$targets" ]] && continue
+  for t in $targets; do
+    echo "==> fuzz $pkg $t ($FUZZTIME)"
+    if ! go test "$pkg" -run='^$' -fuzz="^${t}\$" -fuzztime="$FUZZTIME"; then
+      fail=1
+    fi
+  done
+done
+
+exit "$fail"

@@ -96,9 +96,17 @@ func (s *System) Load(r io.Reader) (int, error) {
 		if l > 1<<30 {
 			return n, fmt.Errorf("%w: unreasonable record size %d", ErrBadSnapshot, l)
 		}
-		buf := make([]byte, l)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return n, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
+		// The length prefix may be corrupt: commit memory chunk by chunk,
+		// only as the stream actually delivers payload.
+		const chunk = 256 << 10
+		buf := make([]byte, 0, min(int(l), chunk))
+		for len(buf) < int(l) {
+			k := min(int(l)-len(buf), chunk)
+			off := len(buf)
+			buf = append(buf, make([]byte, k)...)
+			if _, err := io.ReadFull(br, buf[off:]); err != nil {
+				return n, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
+			}
 		}
 		rec, err := wire.Decode(buf)
 		if err != nil {

@@ -175,6 +175,12 @@ type Result struct {
 	Compared  int
 	ElapsedUS float64
 	Speed     float64
+	// Partial reports a degraded distributed search: only ShardsAnswered of
+	// ShardsTotal shards contributed (single-engine searches always leave
+	// these zero-valued with Partial=false).
+	Partial        bool
+	ShardsAnswered int
+	ShardsTotal    int
 }
 
 // SearchImage extracts query features from im and searches the index.
