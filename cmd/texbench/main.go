@@ -31,9 +31,13 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown")
 	wallclock := flag.Bool("wallclock", false,
 		"run the host wall-clock benchmark suite instead of the simulated-device experiments")
+	serving := flag.Bool("serving", false,
+		"run the micro-batching serving benchmark: deterministic simulated QPS (batched vs serialized) at concurrency 1/4/16/64")
+	servingWall := flag.Bool("serving-wall", false,
+		"with -serving: also run the machine-dependent wall-clock load generators (closed and open loop)")
 	count := flag.Int("count", 3, "wall-clock runs per op (best is reported)")
-	outPath := flag.String("out", "", "write the wall-clock report to this JSON file (BENCH_HOST.json)")
-	baselinePath := flag.String("baseline", "", "compare the wall-clock report against this JSON file; exit 1 on >20% ns/op regression")
+	outPath := flag.String("out", "", "write the benchmark report to this JSON file (BENCH_HOST.json / BENCH_SERVE.json)")
+	baselinePath := flag.String("baseline", "", "compare the report against this JSON file; exit 1 on regression (>20% ns/op wall-clock, >10% QPS or identity/speedup-floor serving)")
 	validateBaseline := flag.Bool("validate-baseline", false,
 		"parse and validate the -baseline file without running anything; exit 2 if it is missing, malformed, or empty")
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "dataset and jitter seed")
@@ -53,6 +57,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "texbench: -validate-baseline requires -baseline <file>")
 			os.Exit(2)
 		}
+		if *serving {
+			base, err := bench.LoadServingReport(*baselinePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "texbench: bad baseline:", err)
+				os.Exit(2)
+			}
+			if len(base.Sim) == 0 {
+				fmt.Fprintf(os.Stderr, "texbench: bad baseline: %s contains no simulated serving levels\n", *baselinePath)
+				os.Exit(2)
+			}
+			return
+		}
 		base, err := bench.LoadHostReport(*baselinePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "texbench: bad baseline:", err)
@@ -62,6 +78,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "texbench: bad baseline: %s contains no op results\n", *baselinePath)
 			os.Exit(2)
 		}
+		return
+	}
+
+	if *serving {
+		runServing(*servingWall, *outPath, *baselinePath)
 		return
 	}
 
@@ -99,6 +120,55 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "ran %d experiment(s) in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+}
+
+// runServing runs the serving suite, optionally writing the report and/or
+// enforcing the deterministic gate (identity, 3x speedup floor at
+// concurrency 16, no >10% batched-QPS drop) against a committed baseline.
+func runServing(includeWall bool, outPath, baselinePath string) {
+	start := time.Now()
+	rep := bench.RunServing(includeWall)
+	fmt.Printf("serving (simulated, deterministic): %s, %d refs (m=%d, n=%d)\n",
+		rep.Device, rep.Refs, rep.RefFeatures, rep.QueryFeatures)
+	fmt.Printf("%-12s %12s %12s %9s %10s %12s %12s %10s\n",
+		"concurrency", "serial QPS", "batched QPS", "speedup", "mean batch", "p50 ms", "p99 ms", "identical")
+	for _, lv := range rep.Sim {
+		fmt.Printf("%-12d %12.1f %12.1f %8.2fx %10.1f %12.2f %12.2f %10v\n",
+			lv.Concurrency, lv.SerialQPS, lv.BatchedQPS, lv.Speedup, lv.MeanBatch, lv.P50MS, lv.P99MS, lv.Identical)
+	}
+	if includeWall {
+		fmt.Printf("\nserving (wall-clock, machine-dependent):\n")
+		fmt.Printf("%-8s %-12s %10s %12s %10s %10s %10s\n",
+			"mode", "concurrency", "QPS", "direct QPS", "p50 ms", "p99 ms", "mean batch")
+		for _, lv := range rep.Wall {
+			fmt.Printf("%-8s %-12d %10.0f %12.0f %10.2f %10.2f %10.1f\n",
+				lv.Mode, lv.Concurrency, lv.QPS, lv.DirectQPS, lv.P50MS, lv.P99MS, lv.MeanBatch)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "serving suite: GOMAXPROCS=%d, %s total\n",
+		rep.GOMAXPROCS, time.Since(start).Round(time.Millisecond))
+
+	if outPath != "" {
+		if err := rep.WriteFile(outPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
+	if baselinePath != "" {
+		base, err := bench.LoadServingReport(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if problems := bench.CompareServingReports(base, rep, 0.10); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", baselinePath)
+	}
 }
 
 // runWallclock runs the host wall-clock suite, optionally writing the

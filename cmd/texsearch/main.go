@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
 
 	"texid/internal/cluster"
 	"texid/internal/gpusim"
@@ -60,23 +61,51 @@ func main() {
 		fmt.Printf("%sed texture %d (%d features)\n", cmd, *id, rec.Features.Cols)
 
 	case "search-batch":
-		if len(args) == 0 {
-			log.Fatal("usage: texsearch search-batch q1.png q2.png ...")
+		fs := flag.NewFlagSet("search-batch", flag.ExitOnError)
+		concurrent := fs.Bool("concurrent", false,
+			"issue the queries as parallel /v1/search requests so the server's micro-batching admission layer coalesces them (instead of one /v1/search/batch body)")
+		if err := fs.Parse(args); err != nil {
+			log.Fatal(err)
 		}
-		recs := make([]*wire.FeatureRecord, len(args))
-		for i, path := range args {
+		paths := fs.Args()
+		if len(paths) == 0 {
+			log.Fatal("usage: texsearch search-batch [-concurrent] q1.png q2.png ...")
+		}
+		recs := make([]*wire.FeatureRecord, len(paths))
+		for i, path := range paths {
 			recs[i] = extract(path, 0, *queryFeatures)
 		}
-		results, err := api.SearchBatch(recs)
-		if err != nil {
-			log.Fatal(err)
+		var results []cluster.SearchResponse
+		if *concurrent {
+			results = make([]cluster.SearchResponse, len(recs))
+			errs := make([]error, len(recs))
+			var wg sync.WaitGroup
+			for i := range recs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					results[i], errs[i] = api.Search(recs[i])
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					log.Fatalf("%s: %v", paths[i], err)
+				}
+			}
+		} else {
+			var err error
+			results, err = api.SearchBatch(recs)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		for i, res := range results {
 			verdict := "no match"
 			if res.Accepted {
 				verdict = fmt.Sprintf("texture %d (%d matches)", res.BestID, res.Score)
 			}
-			fmt.Printf("%s: %s\n", args[i], verdict)
+			fmt.Printf("%s: %s\n", paths[i], verdict)
 		}
 		if len(results) > 0 {
 			fmt.Printf("batch latency %.2f ms simulated, %.0f comparisons/s aggregate\n",
@@ -172,7 +201,10 @@ commands:
   add -id N image.png       enroll a reference texture
   update -id N image.png    replace a reference texture
   search query.png          one-to-many identification
-  search-batch q1.png ...   batched identification (higher throughput)
+  search-batch [-concurrent] q1.png ...
+                            batched identification (higher throughput);
+                            -concurrent sends parallel single searches so
+                            the server coalesces them
   delete -id N              remove a reference
   stats                     cluster statistics
   health                    liveness check`)

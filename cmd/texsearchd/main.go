@@ -32,6 +32,7 @@ import (
 	"texid/internal/engine"
 	"texid/internal/gpusim"
 	"texid/internal/kvstore"
+	"texid/internal/serve"
 )
 
 func main() {
@@ -54,6 +55,8 @@ func main() {
 	callBackoffMS := flag.Float64("call-backoff-ms", 5, "base retry backoff, virtual ms (doubles per attempt, jittered)")
 	hedgeAfterMS := flag.Float64("hedge-after-ms", 0, "hedge straggler worker calls after this many virtual ms (0 = off)")
 	minShards := flag.Int("min-shards", 1, "minimum shards that must answer before a search fails instead of degrading")
+	maxBatch := flag.Int("max-batch", 16, "max concurrent /v1/search requests coalesced into one batched scatter pass (<= 1 disables)")
+	batchWindowUS := flag.Int("batch-window-us", 200, "how long the first query of a batch waits for co-travellers, wall-clock µs")
 	flag.Parse()
 
 	cfg := engine.DefaultConfig()
@@ -105,6 +108,10 @@ func main() {
 			HedgeAfterUS: *hedgeAfterMS * 1000,
 		},
 		MinShards: *minShards,
+		Serve: serve.Options{
+			MaxBatch: *maxBatch,
+			Window:   time.Duration(*batchWindowUS) * time.Microsecond,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -124,6 +131,9 @@ func main() {
 	st := c.Stats()
 	log.Printf("%d workers on %s; capacity %d references (%.0f GB hybrid cache)",
 		st.Workers, cfg.Spec.Name, st.CapacityImages, st.CacheGB)
+	if *maxBatch > 1 {
+		log.Printf("micro-batching: coalescing up to %d concurrent searches within %dµs", *maxBatch, *batchWindowUS)
+	}
 	log.Printf("serving REST API on http://%s (metrics at /metrics)", *listen)
 
 	srv := &http.Server{

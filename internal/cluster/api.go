@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"texid/internal/blas"
+	"texid/internal/metrics"
 	"texid/internal/sift"
 	"texid/internal/wire"
 )
@@ -73,6 +75,35 @@ func searchResponse(rep *Report) SearchResponse {
 	}
 }
 
+// LatencyQuantiles summarizes a latency histogram: upper-bound estimates
+// of the p50/p95/p99 bucket boundaries, in milliseconds.
+type LatencyQuantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+// quantiles snapshots a histogram into its stats form.
+func quantiles(h *metrics.Histogram) LatencyQuantiles {
+	n, _ := h.Snapshot()
+	return LatencyQuantiles{
+		Count: n,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// ServeStatsResponse reports the micro-batching admission layer: how many
+// searches it admitted, how many scatter passes they coalesced into, and
+// the achieved mean batch size. All zero when coalescing is disabled.
+type ServeStatsResponse struct {
+	Submitted uint64  `json:"submitted"`
+	Batches   uint64  `json:"batches"`
+	MeanBatch float64 `json:"mean_batch"`
+}
+
 // StatsResponse is the body returned by /v1/stats.
 type StatsResponse struct {
 	Workers        int      `json:"workers"`
@@ -81,6 +112,11 @@ type StatsResponse struct {
 	CacheGB        float64  `json:"cache_gb"`
 	WorkersDead    int      `json:"workers_dead"`
 	Health         []string `json:"health"`
+	// SimLatency summarizes the simulated GPU latency per search;
+	// WallLatency the wall-clock time per search API request.
+	SimLatency  LatencyQuantiles   `json:"sim_latency"`
+	WallLatency LatencyQuantiles   `json:"wall_latency"`
+	Serve       ServeStatsResponse `json:"serve"`
 }
 
 // statusRecorder captures the response code for the error counter.
@@ -114,12 +150,20 @@ func (c *Cluster) Handler() http.Handler {
 			return
 		}
 		s := c.Stats()
+		sv := c.ServeStats()
 		resp := StatsResponse{
 			Workers:        s.Workers,
 			References:     s.References,
 			CapacityImages: s.CapacityImages,
 			CacheGB:        s.CacheGB,
 			WorkersDead:    s.WorkersDead,
+			SimLatency:     quantiles(c.mSearchLatency),
+			WallLatency:    quantiles(c.mWallLatency),
+			Serve: ServeStatsResponse{
+				Submitted: sv.Submitted,
+				Batches:   sv.Batches,
+				MeanBatch: sv.MeanBatch,
+			},
 		}
 		for _, h := range s.Health {
 			resp.Health = append(resp.Health, h.String())
@@ -209,7 +253,9 @@ func (c *Cluster) Handler() http.Handler {
 			queryFeats = append(queryFeats, rec.Features)
 			queryKps = append(queryKps, rec.Keypoints)
 		}
+		start := time.Now()
 		reps, err := c.SearchBatch(queryFeats, queryKps)
+		c.mWallLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -247,7 +293,11 @@ func (c *Cluster) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		rep, err := c.Search(rec.Features, rec.Keypoints)
+		// Concurrent requests coalesce into shared scatter passes when the
+		// admission layer is configured.
+		start := time.Now()
+		rep, err := c.SearchCoalesced(rec.Features, rec.Keypoints)
+		c.mWallLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return

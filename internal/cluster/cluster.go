@@ -25,6 +25,7 @@ import (
 	"texid/internal/kvstore"
 	"texid/internal/match"
 	"texid/internal/metrics"
+	"texid/internal/serve"
 	"texid/internal/sift"
 	"texid/internal/wire"
 )
@@ -55,6 +56,12 @@ type Config struct {
 	// search degrades to a partial result; with fewer survivors the search
 	// fails outright. <= 0 means 1 (any survivor yields an answer).
 	MinShards int
+	// Serve configures the micro-batching admission layer in front of the
+	// coordinator: concurrent single-query searches are coalesced into
+	// batched scatter passes (one multi-query GEMM per reference batch on
+	// every worker). MaxBatch <= 1 disables coalescing; Window bounds how
+	// long the first query of a batch waits (wall clock) for co-travellers.
+	Serve serve.Options
 }
 
 // DefaultConfig returns the paper's deployment: 14 P100 workers with the
@@ -73,6 +80,7 @@ type Cluster struct {
 	minShards int
 	workers   []*worker
 	store     *kvstore.Client
+	batcher   *serve.Batcher[serve.Query, coalescedResult]
 
 	mu     sync.Mutex
 	shards map[int]int // texture id -> worker index
@@ -89,6 +97,8 @@ type Cluster struct {
 	mWorkerFailures  *metrics.Counter
 	mWorkerHedges    *metrics.Counter
 	mPartialSearches *metrics.Counter
+	mBatchSize       *metrics.Histogram
+	mWallLatency     *metrics.Histogram
 }
 
 // New builds the cluster, creating one engine per worker.
@@ -119,6 +129,10 @@ func New(cfg Config) (*Cluster, error) {
 	c.mWorkerFailures = c.reg.Counter("texid_worker_call_failures_total", "failed worker call attempts")
 	c.mWorkerHedges = c.reg.Counter("texid_worker_hedges_total", "hedged worker requests issued")
 	c.mPartialSearches = c.reg.Counter("texid_partial_searches_total", "searches answered from a strict subset of shards")
+	c.mBatchSize = c.reg.Histogram("texid_serve_batch_size",
+		"achieved coalesced batch size per scatter pass", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	c.mWallLatency = c.reg.Histogram("texid_search_wall_latency_ms",
+		"wall-clock latency per search API request (ms)", metrics.DefBuckets)
 	for i := 0; i < cfg.Workers; i++ {
 		e, err := engine.New(cfg.Engine)
 		if err != nil {
@@ -140,11 +154,18 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.store = cl
 	}
+	if cfg.Serve.MaxBatch > 1 {
+		c.batcher = c.newBatcher(cfg.Serve)
+	}
 	return c, nil
 }
 
-// Close releases the kvstore connection (engines are garbage-collected).
+// Close drains the admission layer and releases the kvstore connection
+// (engines are garbage-collected).
 func (c *Cluster) Close() error {
+	if c.batcher != nil {
+		c.batcher.Close()
+	}
 	if c.store != nil {
 		return c.store.Close()
 	}
@@ -481,6 +502,9 @@ func (c *Cluster) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypo
 		if merged.ElapsedUS > 0 {
 			merged.Speed = float64(merged.Compared) / (merged.ElapsedUS * 1e-6)
 		}
+		c.mSearches.Inc()
+		c.mComparisons.Add(float64(merged.Compared))
+		c.mSearchLatency.Observe(merged.ElapsedUS / 1000)
 		if queryFeats[qi] != nil {
 			top, ok := match.Identify(merged.Ranked, c.cfg.Engine.Match)
 			merged.Ranked = match.RankResults(merged.Ranked)

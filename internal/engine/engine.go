@@ -10,6 +10,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"texid/internal/blas"
 	"texid/internal/cache"
@@ -92,12 +93,30 @@ type refMeta struct {
 
 // Engine is a single-GPU texture search engine. Methods are safe for
 // concurrent use.
+//
+// Locking is two-level so that searches never hold the index write lock
+// during compute (the GEMM/top-2 phase):
+//
+//   - mu (RWMutex) guards the index state: the hybrid cache layout, the
+//     id maps, and the pending (unsealed) enrollment buffers. Searches
+//     hold only the read lock while matching, so enrollment on one shard
+//     no longer blocks searches on another through the cluster path;
+//     Add/Remove/Update/Compact/Export take the write lock and therefore
+//     wait for at most one in-flight batch pass.
+//   - execMu serializes the execution resources that cannot be shared:
+//     the stream set, the reusable scratch buffers, and the device-clock
+//     interval measurement (start/end Synchronize must not interleave
+//     between searches or the virtual latency attribution breaks).
+//
+// Lock order is execMu before mu; no path acquires execMu while holding
+// mu. Searches cannot drop mu entirely during compute: batch payloads and
+// the uid maps are read throughout scoring, and a concurrent Add could
+// demote (free) a device-resident batch mid-match.
 type Engine struct {
 	cfg Config
 	dev *gpusim.Device
 
-	mu          sync.Mutex
-	streams     []*gpusim.Stream
+	mu          sync.RWMutex
 	hybrid      *cache.Hybrid
 	refs        map[int]*refMeta // public id -> meta
 	uidToPublic map[int]int      // internal uid -> public id
@@ -106,13 +125,16 @@ type Engine struct {
 	pendingUIDs []int
 	pendingMats []*blas.Matrix
 	workspace   int64
-	searches    int
+	searches    atomic.Int64
 
-	// Reusable host-side working sets (guarded by mu): the match kernels'
-	// distance matrix and top-2 slabs plus the query staging buffers.
-	// Threading these through the search paths makes steady-state Search
-	// allocation-free on the host hot path (Report.Ranked is the one fresh
-	// allocation, since it escapes to the caller).
+	// execMu serializes one batch pass at a time over the streams and the
+	// reusable host-side working sets: the match kernels' distance matrix
+	// and top-2 slabs plus the query staging buffers. Threading these
+	// through the search paths makes steady-state Search allocation-free
+	// on the host hot path (Report.Ranked is the one fresh allocation,
+	// since it escapes to the caller).
+	execMu   sync.Mutex
+	streams  []*gpusim.Stream
 	scratch  knn.Scratch
 	qscratch knn.QueryScratch
 	itemsBuf []*cache.Item
@@ -247,6 +269,21 @@ func (e *Engine) AddPhantom(startID, count int) error {
 // Flush seals any pending (not yet batch-sized) references so they become
 // searchable.
 func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sealLocked()
+}
+
+// sealPending makes unsealed enrollments searchable before a search runs.
+// The fast path (nothing pending, the steady state) costs one read lock;
+// only a dirty index escalates to the write lock.
+func (e *Engine) sealPending() error {
+	e.mu.RLock()
+	dirty := len(e.pendingUIDs) > 0
+	e.mu.RUnlock()
+	if !dirty {
+		return nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.sealLocked()

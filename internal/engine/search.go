@@ -36,11 +36,16 @@ type Report struct {
 //
 //texlint:hotpath
 func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Report, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.sealLocked(); err != nil {
+	// One batch pass at a time over the shared streams and scratch; the
+	// index itself is only read-locked, so enrollment blocks searching
+	// (and vice versa) no longer than one in-flight pass.
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if err := e.sealPending(); err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 
 	var q *knn.Query
 	var err error
@@ -111,7 +116,7 @@ func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Rep
 		}
 	}
 	elapsed := e.dev.Synchronize() - start
-	e.searches++
+	e.searches.Add(1)
 
 	report.ElapsedUS = elapsed
 	if elapsed > 0 {
@@ -145,8 +150,8 @@ type Stats struct {
 
 // Stats returns current occupancy and capacity figures.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	perRef := int64(e.cfg.RefFeatures) * int64(e.cfg.Dim) * int64(e.cfg.Precision.ElemBytes())
 	if e.cfg.Algorithm != knn.RootSIFT {
 		perRef += int64(e.cfg.RefFeatures) * 4 // norm vector
@@ -158,7 +163,7 @@ func (e *Engine) Stats() Stats {
 		Cache:          cs,
 		CapacityImages: e.hybrid.CapacityImages(perRef),
 		BytesPerRef:    perRef,
-		Searches:       e.searches,
+		Searches:       int(e.searches.Load()),
 		WorkspaceGB:    float64(e.workspace) / (1 << 30),
 	}
 }

@@ -37,11 +37,17 @@ func (e *Engine) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoi
 	if len(queryFeats) == 0 {
 		return nil, fmt.Errorf("engine: empty query batch")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.sealLocked(); err != nil {
+	// Like Search: the pure-compute GEMM phase runs under the index read
+	// lock only (plus execMu for the shared streams/scratch), so cluster
+	// enrollment on one shard no longer serializes against batched
+	// searches on another.
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	if err := e.sealPending(); err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 
 	queries := make([]*knn.Query, len(queryFeats))
 	for i, qf := range queryFeats {
@@ -127,7 +133,7 @@ func (e *Engine) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoi
 		}
 	}
 	elapsed := e.dev.Synchronize() - start
-	e.searches += len(queries)
+	e.searches.Add(int64(len(queries)))
 
 	br := &BatchReport{ElapsedUS: elapsed}
 	for _, rep := range reports {

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+
+	"texid/internal/blas"
+	"texid/internal/engine"
+	"texid/internal/knn"
+	"texid/internal/sift"
+)
+
+// Query is one search input for an engine-backed batcher: pre-extracted
+// query features plus optional keypoints (for geometric verification).
+// A nil Feats runs a phantom (timing-only) search, as in Engine.Search.
+type Query struct {
+	Feats *blas.Matrix
+	Kps   []sift.Keypoint
+}
+
+// result pairs a per-query report with a per-query error, so one
+// malformed query in a coalesced batch fails alone instead of poisoning
+// the queries it happened to share a GEMM pass with.
+type result struct {
+	rep *engine.Report
+	err error
+}
+
+// EngineBatcher fronts one Engine with the micro-batching admission
+// layer: concurrent Search calls coalesce into Engine.SearchBatch passes.
+type EngineBatcher struct {
+	b *Batcher[Query, result]
+}
+
+// ForEngine builds the admission layer over e. Coalesced execution
+// requires the RootSIFT algorithm (the only batchable 2-NN variant);
+// other algorithms — and mixed phantom/real batches — transparently fall
+// back to per-query execution while keeping the same admission
+// accounting.
+func ForEngine(e *engine.Engine, opts Options) *EngineBatcher {
+	batchable := e.Config().Algorithm == knn.RootSIFT
+	dim := e.Config().Dim
+
+	// Leader-only scatter buffers (the Runner is called by exactly one
+	// goroutine at a time), reused across batches.
+	var feats []*blas.Matrix
+	var kps [][]sift.Keypoint
+
+	run := func(qs []Query) ([]result, error) {
+		results := make([]result, len(qs))
+
+		// Validate up front and decide the execution shape: SearchBatch
+		// needs uniform queries (all real with the engine's Dim, or all
+		// phantom).
+		phantoms, invalid := 0, false
+		for i, q := range qs {
+			if q.Feats == nil {
+				phantoms++
+			} else if q.Feats.Rows != dim {
+				results[i].err = fmt.Errorf("engine: query dim %d, want %d", q.Feats.Rows, dim)
+				invalid = true
+			}
+		}
+		uniform := phantoms == 0 || phantoms == len(qs)
+
+		if !batchable || invalid || !uniform || len(qs) == 1 {
+			for i, q := range qs {
+				if results[i].err != nil {
+					continue
+				}
+				results[i].rep, results[i].err = e.Search(q.Feats, q.Kps)
+			}
+			return results, nil
+		}
+
+		feats = feats[:0]
+		kps = kps[:0]
+		for _, q := range qs {
+			feats = append(feats, q.Feats)
+			kps = append(kps, q.Kps)
+		}
+		br, err := e.SearchBatch(feats, kps)
+		if err != nil {
+			return nil, err
+		}
+		for i, rep := range br.Reports {
+			results[i].rep = rep
+		}
+		return results, nil
+	}
+	return &EngineBatcher{b: New(run, opts)}
+}
+
+// Search submits one query through the admission layer and returns its
+// demultiplexed per-query report. Results are bitwise identical to
+// calling Engine.Search directly; only the simulated latency attribution
+// differs (a coalesced query's ElapsedUS is its batch's completion time).
+//
+//texlint:hotpath
+func (eb *EngineBatcher) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*engine.Report, error) {
+	r, err := eb.b.Do(Query{Feats: queryFeats, Kps: queryKps})
+	if err != nil {
+		return nil, err
+	}
+	return r.rep, r.err
+}
+
+// Close drains and shuts down the admission layer.
+func (eb *EngineBatcher) Close() { eb.b.Close() }
+
+// Stats returns the admission counters.
+func (eb *EngineBatcher) Stats() Stats { return eb.b.Stats() }

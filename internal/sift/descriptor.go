@@ -15,14 +15,16 @@ const (
 	descNorm512 = 512 // OpenCV convention: descriptors scaled to L2 norm 512
 )
 
-// computeDescriptor extracts the 128-D descriptor of kp from the Gaussian
-// level it was detected at, following Lowe §6: gradients in a rotated,
+// computeDescriptorInto extracts the 128-D descriptor of kp from the
+// Gaussian level it was detected at, writing it into dst (length
+// DescriptorDim), following Lowe §6: gradients in a rotated,
 // scale-normalized window are accumulated into a 4×4×8 histogram with
 // trilinear interpolation and Gaussian weighting; the vector is normalized,
 // clamped at 0.2, renormalized, and finally scaled to L2 norm 512 to match
 // OpenCV's output convention (which is the convention under which the FP16
-// overflow behaviour of Table 2 occurs).
-func computeDescriptor(p *pyramid, kp Keypoint) []float32 {
+// overflow behaviour of Table 2 occurs). Writing into the caller's column
+// keeps the per-keypoint stage allocation-free.
+func computeDescriptorInto(p *pyramid, kp Keypoint, dst []float32) {
 	g := p.gauss[kp.Octave][kp.Level]
 	scale := math.Pow(2, float64(kp.Octave)) * p.coordScale
 	ox := kp.X / scale
@@ -128,28 +130,27 @@ func computeDescriptor(p *pyramid, kp Keypoint) []float32 {
 		}
 	}
 
-	// Flatten the interior 4×4 grid.
-	desc := make([]float64, 0, DescriptorDim)
+	// Flatten the interior 4×4 grid into a stack buffer.
+	var desc [DescriptorDim]float64
+	n := 0
 	for i := 1; i <= descWidth; i++ {
 		for j := 1; j <= descWidth; j++ {
-			desc = append(desc, hist[i][j][:]...)
+			n += copy(desc[n:], hist[i][j][:])
 		}
 	}
 
 	// Normalize, clamp at 0.2, renormalize, scale to 512.
-	normalize(desc)
+	normalize(desc[:])
 	for i, v := range desc {
 		if v > descMagCap {
 			desc[i] = descMagCap
 		}
 	}
-	normalize(desc)
+	normalize(desc[:])
 
-	out := make([]float32, DescriptorDim)
 	for i, v := range desc {
-		out[i] = float32(v * descNorm512)
+		dst[i] = float32(v * descNorm512)
 	}
-	return out
 }
 
 // normalize scales v to unit L2 norm in place (no-op for the zero vector).

@@ -18,23 +18,33 @@ type Keypoint struct {
 	Level    int
 }
 
+// slabRef identifies one (octave, level) DoG slab.
+type slabRef struct{ o, l int }
+
 // detectExtrema finds local extrema of the DoG pyramid, refines them to
 // subpixel accuracy, and filters by contrast and edge response. Each
 // (octave, level) slab scans independently and the per-slab results are
 // concatenated in slab order, so the keypoint list is identical to the
-// sequential scan at any GOMAXPROCS.
-func detectExtrema(p *pyramid, cfg Config) []Keypoint {
+// sequential scan at any GOMAXPROCS. All working buffers come from the
+// arena; the returned slice aliases it and must be copied before escaping
+// the extraction.
+func detectExtrema(p *pyramid, a *arena, cfg Config) []Keypoint {
 	const border = 5
 
-	type slab struct{ o, l int }
-	var slabs []slab
+	slabs := a.slabs[:0]
 	for o := 0; o < p.nOctaves; o++ {
 		for l := 1; l < len(p.dog[o])-1; l++ {
-			slabs = append(slabs, slab{o, l})
+			slabs = append(slabs, slabRef{o, l})
 		}
 	}
+	a.slabs = slabs
 
-	found := make([][]Keypoint, len(slabs))
+	// Per-slab result buffers, recycled across extractions (slab si's
+	// buffer is touched only by worker si, in input order).
+	for len(a.slabKps) < len(slabs) {
+		a.slabKps = append(a.slabKps, nil)
+	}
+	found := a.slabKps[:len(slabs)]
 	blas.Parallel(len(slabs), func(si int) {
 		o, l := slabs[si].o, slabs[si].l
 		scale := math.Pow(2, float64(o)) * p.coordScale // octave pixel -> original pixel
@@ -42,7 +52,7 @@ func detectExtrema(p *pyramid, cfg Config) []Keypoint {
 		d1 := p.dog[o][l]
 		d2 := p.dog[o][l+1]
 		w, h := d1.W, d1.H
-		var kps []Keypoint
+		kps := found[si][:0]
 		for y := border; y < h-border; y++ {
 			row := d1.Pix[y*w : y*w+w]
 			for x := border; x < w-border; x++ {
@@ -66,10 +76,11 @@ func detectExtrema(p *pyramid, cfg Config) []Keypoint {
 		found[si] = kps
 	})
 
-	var kps []Keypoint
+	kps := a.kps[:0]
 	for _, f := range found {
 		kps = append(kps, f...)
 	}
+	a.kps = kps
 	return kps
 }
 
@@ -182,15 +193,43 @@ func refine(p *pyramid, o, l, x, y int, cfg Config) (Keypoint, bool) {
 	return Keypoint{}, false
 }
 
+// orientedSet collects the oriented keypoints spawned by one detection:
+// almost always at most a few peaks, stored inline; the rare keypoint with
+// more than four ≥80% peaks spills into the (arena-recycled) extra slice.
+type orientedSet struct {
+	n     int
+	kp    [4]Keypoint
+	extra []Keypoint
+}
+
+// add appends one oriented keypoint, preserving peak order.
+func (s *orientedSet) add(k Keypoint) {
+	if s.n < len(s.kp) {
+		s.kp[s.n] = k
+		s.n++
+		return
+	}
+	s.extra = append(s.extra, k)
+}
+
 // assignOrientations computes the dominant gradient orientation(s) of each
 // keypoint from a 36-bin histogram of gradient angles in a Gaussian-weighted
 // neighborhood (Lowe §5). Peaks within 80% of the maximum spawn additional
 // keypoints, as in the original algorithm. Keypoints are independent, so
 // they are processed in parallel and the per-keypoint results concatenated
-// in input order — the output is identical at any GOMAXPROCS.
-func assignOrientations(p *pyramid, kps []Keypoint) []Keypoint {
+// in input order — the output is identical at any GOMAXPROCS. The returned
+// slice aliases the arena and must be copied before escaping the
+// extraction.
+func assignOrientations(p *pyramid, a *arena, kps []Keypoint) []Keypoint {
 	const nbins = 36
-	oriented := make([][]Keypoint, len(kps))
+	for len(a.sets) < len(kps) {
+		a.sets = append(a.sets, orientedSet{})
+	}
+	oriented := a.sets[:len(kps)]
+	for i := range oriented {
+		oriented[i].n = 0
+		oriented[i].extra = oriented[i].extra[:0]
+	}
 	blas.Parallel(len(kps), func(ki int) {
 		kp := kps[ki]
 		g := p.gauss[kp.Octave][kp.Level]
@@ -261,14 +300,16 @@ func assignOrientations(p *pyramid, kps []Keypoint) []Keypoint {
 			}
 			k := kp
 			k.Angle = angle
-			oriented[ki] = append(oriented[ki], k)
+			oriented[ki].add(k)
 		}
 	})
 
-	var out []Keypoint
-	for _, o := range oriented {
-		out = append(out, o...)
+	out := a.okps[:0]
+	for i := range oriented {
+		out = append(out, oriented[i].kp[:oriented[i].n]...)
+		out = append(out, oriented[i].extra...)
 	}
+	a.okps = out
 	return out
 }
 

@@ -35,8 +35,21 @@ type pyramid struct {
 // image taken from it is fully overwritten by its producer (blur,
 // downsample, subtract, upsample), so reuse cannot perturb pixel values.
 // An arena is not safe for concurrent use; each Extract call owns one.
+//
+// Beyond the pyramid levels, the arena pools the detection and
+// orientation working sets: the per-slab keypoint buffers and their
+// concatenations, and the per-keypoint orientation sets. These hold the
+// bulk of the extractor's former steady-state allocations (one-plus per
+// keypoint); pooling them leaves only the escaping outputs — the
+// descriptor matrix and the final keypoint slice — as fresh allocations.
 type arena struct {
 	free []*texture.Image
+
+	slabs   []slabRef     // DoG slab list
+	slabKps [][]Keypoint  // per-slab detection results
+	kps     []Keypoint    // detection concatenation
+	sets    []orientedSet // per-keypoint orientation scratch
+	okps    []Keypoint    // orientation concatenation
 }
 
 var arenaPool = sync.Pool{New: func() any { return new(arena) }}

@@ -70,8 +70,8 @@ func (f *Features) Count() int { return len(f.Keypoints) }
 func Extract(im *texture.Image, cfg Config) *Features {
 	a := arenaPool.Get().(*arena)
 	p := buildPyramidArena(a, im, cfg)
-	kps := detectExtrema(p, cfg)
-	kps = assignOrientations(p, kps)
+	kps := detectExtrema(p, a, cfg)
+	kps = assignOrientations(p, a, kps)
 	kps = topKByResponse(kps, cfg.MaxFeatures)
 
 	// Descriptors are independent per keypoint and each writes its own
@@ -79,13 +79,16 @@ func Extract(im *texture.Image, cfg Config) *Features {
 	// GOMAXPROCS.
 	desc := blas.NewMatrix(DescriptorDim, len(kps))
 	blas.Parallel(len(kps), func(i int) {
-		copy(desc.Col(i), computeDescriptor(p, kps[i]))
+		computeDescriptorInto(p, kps[i], desc.Col(i))
 	})
-	// Descriptors and keypoints never alias pyramid storage, so the levels
-	// can be recycled for the next extraction.
+	// kps aliases the arena's pooled buffers; the escaping copy is the one
+	// fresh keypoint allocation per extraction. The descriptor matrix never
+	// aliases pyramid storage, so the levels can be recycled immediately.
+	out := make([]Keypoint, len(kps))
+	copy(out, kps)
 	p.release(a)
 	arenaPool.Put(a)
-	f := &Features{Descriptors: desc, Keypoints: kps}
+	f := &Features{Descriptors: desc, Keypoints: out}
 	if cfg.RootSIFT {
 		ApplyRootSIFT(f.Descriptors)
 	}

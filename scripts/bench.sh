@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
-# Tier-3 (opt-in) wall-clock benchmark gate: runs the host benchmark suite
-# (cmd/texbench -wallclock) and fails if any op's ns/op regressed more than
-# 20% against the committed BENCH_HOST.json baseline.
+# Tier-3 (opt-in) benchmark gates:
 #
-#   scripts/bench.sh                          # compare against committed baseline
-#   COUNT=5 scripts/bench.sh                  # more runs per op (less noise)
-#   UPDATE=1 scripts/bench.sh                 # re-measure and update BENCH_HOST.json
-#   TEXID_BENCH_BASELINE=skip scripts/bench.sh  # measure only, no regression gate
+#   1. Wall-clock host suite (cmd/texbench -wallclock): fails if any op's
+#      ns/op regressed more than 20% against the committed BENCH_HOST.json
+#      baseline. Machine-dependent.
+#   2. Serving suite (cmd/texbench -serving): deterministic simulated QPS
+#      of the micro-batching admission layer vs the serialized path. Fails
+#      on lost result identity, a sub-3x speedup at concurrency 16, or a
+#      >10% batched-QPS drop against the committed BENCH_SERVE.json.
+#      Bit-reproducible — the same gate runs in CI.
 #
-# The baseline is validated before the (slow) suite runs: a missing or
-# malformed BENCH_HOST.json is a hard error, never a silent re-measure.
+#   scripts/bench.sh                          # compare against committed baselines
+#   COUNT=5 scripts/bench.sh                  # more wall-clock runs per op (less noise)
+#   UPDATE=1 scripts/bench.sh                 # re-measure and update both baselines
+#   TEXID_BENCH_BASELINE=skip scripts/bench.sh  # measure only, no regression gates
 #
-# Wall-clock numbers are machine-dependent: the committed baseline only
-# gates relative regressions on the machine that runs the suite, so treat
-# failures on very different hardware as a signal to re-baseline, not as a
-# hard error.
+# Baselines are validated before the (slow) suites run: a missing or
+# malformed baseline file is a hard error, never a silent re-measure.
+#
+# Wall-clock numbers are machine-dependent: the committed BENCH_HOST.json
+# only gates relative regressions on the machine that runs the suite, so
+# treat failures on very different hardware as a signal to re-baseline, not
+# as a hard error. The serving gate's simulated half has no such caveat.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +30,8 @@ COUNT="${COUNT:-3}"
 if [[ "${UPDATE:-0}" == 1 ]]; then
   echo "==> texbench -wallclock (writing BENCH_HOST.json)"
   go run ./cmd/texbench -wallclock -count "$COUNT" -out BENCH_HOST.json
+  echo "==> texbench -serving (writing BENCH_SERVE.json)"
+  go run ./cmd/texbench -serving -out BENCH_SERVE.json
   echo "OK"
   exit 0
 fi
@@ -30,18 +39,22 @@ fi
 if [[ "${TEXID_BENCH_BASELINE:-}" == "skip" ]]; then
   echo "==> texbench -wallclock (regression gate skipped: TEXID_BENCH_BASELINE=skip)"
   go run ./cmd/texbench -wallclock -count "$COUNT"
+  echo "==> texbench -serving (regression gate skipped: TEXID_BENCH_BASELINE=skip)"
+  go run ./cmd/texbench -serving -serving-wall
   echo "OK"
   exit 0
 fi
 
-if [[ ! -f BENCH_HOST.json ]]; then
-  {
-    echo "error: BENCH_HOST.json not found — there is no baseline to gate against."
-    echo "  record one:       UPDATE=1 scripts/bench.sh"
-    echo "  or skip the gate: TEXID_BENCH_BASELINE=skip scripts/bench.sh"
-  } >&2
-  exit 1
-fi
+for f in BENCH_HOST.json BENCH_SERVE.json; do
+  if [[ ! -f "$f" ]]; then
+    {
+      echo "error: $f not found — there is no baseline to gate against."
+      echo "  record one:       UPDATE=1 scripts/bench.sh"
+      echo "  or skip the gate: TEXID_BENCH_BASELINE=skip scripts/bench.sh"
+    } >&2
+    exit 1
+  fi
+done
 
 if ! go run ./cmd/texbench -validate-baseline -baseline BENCH_HOST.json; then
   {
@@ -50,7 +63,16 @@ if ! go run ./cmd/texbench -validate-baseline -baseline BENCH_HOST.json; then
   } >&2
   exit 1
 fi
+if ! go run ./cmd/texbench -serving -validate-baseline -baseline BENCH_SERVE.json; then
+  {
+    echo "error: BENCH_SERVE.json is malformed or empty."
+    echo "  re-record it with: UPDATE=1 scripts/bench.sh"
+  } >&2
+  exit 1
+fi
 
 echo "==> texbench -wallclock (vs committed BENCH_HOST.json)"
 go run ./cmd/texbench -wallclock -count "$COUNT" -baseline BENCH_HOST.json
+echo "==> texbench -serving (vs committed BENCH_SERVE.json)"
+go run ./cmd/texbench -serving -baseline BENCH_SERVE.json
 echo "OK"

@@ -36,6 +36,7 @@ import (
 	"texid/internal/blas"
 	"texid/internal/engine"
 	"texid/internal/gpusim"
+	"texid/internal/serve"
 	"texid/internal/sift"
 	"texid/internal/texture"
 )
@@ -241,6 +242,63 @@ func (s *System) SearchImages(imgs []*Image) ([]*Result, error) {
 	}
 	return out, nil
 }
+
+// ServeOptions configures the micro-batching admission layer: MaxBatch
+// bounds how many concurrent searches share one GEMM pass, Window how long
+// the first query of a batch waits (wall clock) for co-travellers.
+type ServeOptions = serve.Options
+
+// ServeStats reports the admission layer's achieved batching.
+type ServeStats = serve.Stats
+
+// SearchServer fronts a System for concurrent serving: Search calls made
+// from many goroutines are coalesced into single multi-query GEMM passes
+// (continuous micro-batching), trading bounded admission latency for
+// aggregate throughput. Per-query results are bitwise identical to calling
+// System.SearchFeatures directly; only the simulated latency attribution
+// differs (a coalesced query reports its batch's completion time).
+type SearchServer struct {
+	sys *System
+	eb  *serve.EngineBatcher
+}
+
+// Serve builds the admission layer over the system's engine. Close the
+// server when done; the System remains usable throughout and after.
+func (s *System) Serve(opts ServeOptions) *SearchServer {
+	return &SearchServer{sys: s, eb: serve.ForEngine(s.eng, opts)}
+}
+
+// SearchImage extracts query features from im and searches through the
+// admission layer. Safe for concurrent use.
+func (sv *SearchServer) SearchImage(im *Image) (*Result, error) {
+	return sv.SearchFeatures(sv.sys.ExtractQuery(im))
+}
+
+// SearchFeatures searches with pre-extracted query features through the
+// admission layer. Safe for concurrent use; under load, concurrent callers
+// share batched GEMM passes.
+func (sv *SearchServer) SearchFeatures(f *Features) (*Result, error) {
+	rep, err := sv.eb.Search(f.Descriptors, f.Keypoints)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:        rep.BestID,
+		Score:     rep.Score,
+		Accepted:  rep.Accepted,
+		Compared:  rep.Compared,
+		ElapsedUS: rep.ElapsedUS,
+		Speed:     rep.Speed,
+	}, nil
+}
+
+// Stats returns the admission counters (searches admitted, batches
+// executed, achieved batch-size histogram).
+func (sv *SearchServer) Stats() ServeStats { return sv.eb.Stats() }
+
+// Close drains in-flight searches and shuts the admission layer down;
+// subsequent searches fail.
+func (sv *SearchServer) Close() { sv.eb.Close() }
 
 // Compact rebuilds the reference store, reclaiming the slots left behind
 // by Remove and Update; it returns the number of slots reclaimed.
