@@ -35,6 +35,18 @@
 //	             retained across reuse of the same scratch
 //	atomicmix    a variable accessed via sync/atomic anywhere must be
 //	             accessed atomically everywhere
+//	lockorder    the module-local lock-acquisition graph (followed across
+//	             function boundaries) must be acyclic; no RLock→Lock
+//	             upgrades or reacquisition of a held mutex
+//	guardedby    fields bound to a mutex with //texlint:guards <mutex>
+//	             are only touched with that lock held (reads accept the
+//	             read half; constructor and sync/atomic access exempt)
+//	poollife     objects handed to sync.Pool.Put or a //texlint:freelist
+//	             recycler are never used, returned, or recycled again
+//	             afterwards
+//	goleak       goroutines spawned from non-test code need a provable
+//	             exit path: a close()d channel range, a done/context
+//	             select arm, or a bounded body
 //	directive    texlint comment hygiene: bare ignores (no reason),
 //	             unknown check names, malformed annotations
 //
@@ -65,12 +77,20 @@ func main() {
 		baselinePath  = flag.String("baseline", "", "filter findings against this baseline file; stale entries are errors")
 		writeBaseline = flag.String("write-baseline", "", "write all findings to this baseline file and exit 0")
 		fixtures      = flag.Bool("fixtures", false, "self-test: run every analyzer against its fixture package and exit")
+		listChecks    = flag.Bool("list-checks", false, "print the registered check names, one per line, and exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: texlint [-v] [-checks list] [-json] [-baseline file] [-write-baseline file] [-fixtures] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: texlint [-v] [-checks list] [-json] [-baseline file] [-write-baseline file] [-fixtures] [-list-checks] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *listChecks {
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Println(a.Name)
+		}
+		return
+	}
 
 	wd, err := os.Getwd()
 	if err != nil {

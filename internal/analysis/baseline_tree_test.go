@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestBaselineNotStale loads the committed texlint.baseline and replays the
+// full production suite over the real tree: every baseline entry must still
+// match a live finding. A stale entry means the underlying code was fixed
+// (or the check changed) and the baseline line must be deleted — the file
+// may only shrink, never silently rot. This is the same staleness gate
+// `texlint -baseline` applies, pinned as a unit test so `go test ./...`
+// catches it without running the lint driver.
+func TestBaselineNotStale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAll(pkgs, DefaultAnalyzers())
+
+	blPath := filepath.Join(root, "texlint.baseline")
+	bl, err := LoadBaseline(blPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl.Filter(diags, root)
+
+	enabled := make(map[string]bool)
+	for _, a := range DefaultAnalyzers() {
+		enabled[a.Name] = true
+	}
+	enabled["directive"] = true
+	for _, entry := range bl.Stale(enabled) {
+		t.Errorf("stale baseline entry (finding no longer produced): %s", entry)
+	}
+}

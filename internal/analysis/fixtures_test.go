@@ -63,19 +63,45 @@ func TestAtomicMixFixture(t *testing.T) {
 	}
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewLockOrder(), "lockorder") {
+		t.Error(err)
+	}
+}
+
+func TestGuardedByFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewGuardedBy(), "guardedby") {
+		t.Error(err)
+	}
+}
+
+func TestPoolLifeFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewPoolLife(), "poollife") {
+		t.Error(err)
+	}
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewGoLeak(), "goleak") {
+		t.Error(err)
+	}
+}
+
 // TestDefaultAnalyzersScope pins the production scoping: the determinism
 // check applies to the simulator packages and not to e.g. cmd/ tools,
-// while fp16 skips internal/half itself. The four flow-aware checks must
-// all be present so the directive parser knows their names.
+// while fp16 skips internal/half itself. The flow-aware and
+// concurrency-contract checks must all be present so the directive parser
+// knows their names.
 func TestDefaultAnalyzersScope(t *testing.T) {
 	byName := map[string]*Analyzer{}
 	for _, a := range DefaultAnalyzers() {
 		byName[a.Name] = a
 	}
-	if len(byName) != 9 {
-		t.Fatalf("expected 9 analyzers, got %d", len(byName))
+	if len(byName) != 13 {
+		t.Fatalf("expected 13 analyzers, got %d", len(byName))
 	}
-	for _, name := range []string{"hotalloc", "clockdomain", "aliasret", "atomicmix"} {
+	for _, name := range []string{"hotalloc", "clockdomain", "aliasret", "atomicmix",
+		"lockorder", "guardedby", "poollife", "goleak"} {
 		a := byName[name]
 		if a == nil {
 			t.Fatalf("missing analyzer %q", name)

@@ -65,9 +65,11 @@ func runFP16(pass *Pass) []Diagnostic {
 // DefaultAnalyzers returns the production check suite with the project's
 // package scoping: the determinism check covers the simulator and the
 // numeric hot path (timing results must be reproducible), the syntactic
-// checks cover all non-test code, and the flow-aware checks (hotalloc,
+// checks cover all non-test code, the flow-aware checks (hotalloc,
 // clockdomain, aliasret, atomicmix) run whole-program with clockdomain
-// rooted at the simulator.
+// rooted at the simulator, and the concurrency-contract checks
+// (lockorder, guardedby, poollife, goleak) run over the module-local
+// lock-acquisition graph.
 func DefaultAnalyzers() []*Analyzer {
 	simScope := ScopedTo(
 		"internal/gpusim", "internal/engine", "internal/blas",
@@ -83,6 +85,10 @@ func DefaultAnalyzers() []*Analyzer {
 		NewClockDomain(ScopedTo("internal/gpusim")),
 		NewAliasRet(),
 		NewAtomicMix(),
+		NewLockOrder(),
+		NewGuardedBy(),
+		NewPoolLife(),
+		NewGoLeak(),
 	}
 }
 

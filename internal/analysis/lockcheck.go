@@ -10,8 +10,10 @@ import (
 // turn a mutex-protected fast path into a serving-stack stall:
 //
 //  1. a sync mutex held across a blocking operation — channel send or
-//     receive, select, time.Sleep, sync.WaitGroup.Wait, or blocking I/O
-//     (net/os/bufio Read, Write, Flush, Accept, Sync);
+//     receive, select, time.Sleep, sync.WaitGroup.Wait, blocking I/O
+//     (net/os/bufio Read, Write, Flush, Accept, Sync), an HTTP round-trip
+//     (net/http Do/Get/Post/PostForm/Head), or a kvstore.Dial/DialTimeout
+//     TCP connect;
 //  2. Lock without an immediate defer Unlock when an early return can
 //     leave the function with the mutex held.
 //
@@ -28,6 +30,12 @@ func NewLockCheck() *Analyzer {
 var blockingIOMethods = map[string]bool{
 	"Read": true, "Write": true, "Flush": true, "Accept": true, "Sync": true,
 	"ReadString": true, "ReadBytes": true, "WriteString": true, "ReadFrom": true, "WriteTo": true,
+}
+
+// httpClientCalls are the net/http request entry points (package functions
+// and http.Client methods share these names): each is a full round-trip.
+var httpClientCalls = map[string]bool{
+	"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true,
 }
 
 func runLockCheck(pass *Pass) []Diagnostic {
@@ -179,6 +187,15 @@ func blockingOps(pass *Pass, stmt ast.Stmt, recv string) []Diagnostic {
 			pkg := funcPkgPath(fn)
 			if (pkg == "net" || pkg == "os" || pkg == "bufio") && blockingIOMethods[fn.Name()] {
 				report(n.Pos(), fmt.Sprintf("blocking I/O (%s.%s)", pkg, fn.Name()))
+			}
+			// A mutex held across a whole HTTP round-trip or a TCP
+			// connect is the worst stall in the serving stack: every
+			// other request on that lock queues behind one slow peer.
+			if pkg == "net/http" && httpClientCalls[fn.Name()] {
+				report(n.Pos(), fmt.Sprintf("an HTTP round-trip (net/http %s)", fn.Name()))
+			}
+			if hasSuffixPath(pkg, "internal/kvstore") && (fn.Name() == "Dial" || fn.Name() == "DialTimeout") {
+				report(n.Pos(), fmt.Sprintf("kvstore.%s (a TCP connect)", fn.Name()))
 			}
 		}
 		return true

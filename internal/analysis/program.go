@@ -37,6 +37,10 @@ type FuncAnn struct {
 	// reachability check (packages under internal/gpusim are roots
 	// implicitly; the annotation exists for fixtures and future domains).
 	ClockRoot bool
+	// Freelist marks a //texlint:freelist recycler: pointer arguments
+	// passed to this function return to a freelist, and the caller must
+	// not touch them afterwards (poollife enforces the callers).
+	Freelist bool
 }
 
 // FuncInfo is one function declaration in the program.
@@ -63,6 +67,11 @@ type Program struct {
 	pkgPaths map[string]bool
 	ignore   *ignoreIndex
 	callees  map[*types.Func][]CallSite
+
+	// Memoized concurrency-contract summaries (locks.go).
+	locksums  map[*types.Func]*lockSummary
+	entryheld map[*types.Func]map[string]entryInfo
+	transacq  map[*types.Func]map[string]token.Pos
 }
 
 // BuildProgram indexes the packages (all loaded through one shared
@@ -154,6 +163,8 @@ const (
 	coldpathPrefix     = "//texlint:coldpath"
 	scratchaliasPrefix = "//texlint:scratchalias"
 	clockdomainPrefix  = "//texlint:clockdomain"
+	freelistPrefix     = "//texlint:freelist"
+	guardsPrefix       = "//texlint:guards"
 )
 
 // parseFuncAnn extracts texlint annotations from a doc comment group.
@@ -173,6 +184,8 @@ func parseFuncAnn(doc *ast.CommentGroup) FuncAnn {
 			ann.ScratchAlias = true
 		case directiveIs(c.Text, clockdomainPrefix):
 			ann.ClockRoot = true
+		case directiveIs(c.Text, freelistPrefix):
+			ann.Freelist = true
 		}
 	}
 	return ann
@@ -230,16 +243,21 @@ func (p *Program) directiveDiags(knownChecks map[string]bool) []Diagnostic {
 						if strings.TrimSpace(strings.TrimPrefix(text, coldpathPrefix)) == "" {
 							report(c.Pos(), "texlint:coldpath needs a reason explaining why this function is off the hot path")
 						}
+					case directiveIs(text, guardsPrefix):
+						if strings.TrimSpace(strings.TrimPrefix(text, guardsPrefix)) == "" {
+							report(c.Pos(), "texlint:guards needs the name of the protecting mutex field: //texlint:guards <mutex>")
+						}
 					case directiveIs(text, hotpathPrefix),
 						directiveIs(text, scratchaliasPrefix),
-						directiveIs(text, clockdomainPrefix):
+						directiveIs(text, clockdomainPrefix),
+						directiveIs(text, freelistPrefix):
 						// Valid annotations; nothing to check.
 					default:
 						name := strings.TrimPrefix(text, "//texlint:")
 						if i := strings.IndexAny(name, " \t"); i >= 0 {
 							name = name[:i]
 						}
-						report(c.Pos(), "unknown texlint directive %q (known: ignore, hotpath, coldpath, scratchalias, clockdomain)", name)
+						report(c.Pos(), "unknown texlint directive %q (known: ignore, hotpath, coldpath, scratchalias, clockdomain, freelist, guards)", name)
 					}
 				}
 			}

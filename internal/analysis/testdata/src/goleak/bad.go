@@ -1,0 +1,45 @@
+package fixture
+
+// jobs is consumed by spawnRanger's goroutine but no close(jobs) exists
+// anywhere in the package: the worker can never finish.
+var jobs = make(chan int)
+
+func spawnRanger() {
+	go func() { // want "ranges over channel jobs, which is never closed in this package"
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// spawnForever loops with no return, break, or termination signal.
+func spawnForever(work chan int) {
+	go func() { // want "loops forever with no return, break, or termination signal"
+		for {
+			select {
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// spawnBlocked parks forever on an empty select.
+func spawnBlocked() {
+	go func() { // want "blocks forever on an empty select"
+		select {}
+	}()
+}
+
+// drain is a named worker with no exit; the spawn site is flagged.
+func drain(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+var pending = make(chan int)
+
+func spawnNamed() {
+	go drain(pending) // want "ranges over channel ch, which is never closed in this package"
+}

@@ -1,0 +1,61 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// fanOut is the coordinator-closes pattern: workers range a channel the
+// spawner closes once all work is submitted.
+func fanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// watch loops forever but selects on ctx.Done() and returns: a provable
+// exit path.
+func watch(ctx context.Context, events chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ev := <-events:
+				_ = ev
+			}
+		}
+	}()
+}
+
+// bounded runs to the end of its body: nothing to prove.
+func bounded(result chan<- int) {
+	go func() {
+		result <- 42
+	}()
+}
+
+// stopOnSentinel breaks out of the loop at loop level.
+func stopOnSentinel(ch chan int) {
+	go func() {
+		for {
+			v := <-ch
+			if v < 0 {
+				break
+			}
+		}
+	}()
+}

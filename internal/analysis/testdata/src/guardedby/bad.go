@@ -1,0 +1,54 @@
+package fixture
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	// names is the live name table.
+	//texlint:guards mu
+	names map[string]int
+	next  int //texlint:guards mu
+}
+
+// lookupUnlocked reads a guarded field with no lock anywhere on the path.
+func (r *registry) lookupUnlocked(name string) int {
+	return r.names[name] // want "registry.names is read without mu"
+}
+
+// bumpUnlocked writes a guarded field with no lock.
+func (r *registry) bumpUnlocked() {
+	r.next++ // want "registry.next is written without mu.Lock held"
+}
+
+// lockTooLate releases the mutex before the write.
+func (r *registry) lockTooLate(name string) {
+	r.mu.Lock()
+	id := r.next
+	r.mu.Unlock()
+	r.names[name] = id // want "registry.names is written without mu.Lock held"
+}
+
+type stats struct {
+	rw sync.RWMutex
+	//texlint:guards rw
+	total int
+}
+
+// addUnderRead holds only the read half while writing: readers running
+// concurrently would observe a torn update.
+func (s *stats) addUnderRead(n int) {
+	s.rw.RLock()
+	s.total += n // want "stats.total is written without rw.Lock held"
+	s.rw.RUnlock()
+}
+
+type orphan struct {
+	//texlint:guards missing
+	n int // want "guards names .missing., but orphan has no such field"
+}
+
+type notAMutex struct {
+	guard int
+	//texlint:guards guard
+	n int // want "notAMutex.guard is not a sync.Mutex or sync.RWMutex"
+}

@@ -1,0 +1,62 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type table struct {
+	mu sync.RWMutex
+	//texlint:guards mu
+	rows map[string]int
+	//texlint:guards mu
+	gen int64
+
+	// hits is atomic: sync/atomic accesses carry their own ordering and
+	// need no lock.
+	//texlint:guards mu
+	hits int64
+}
+
+// newTable composes the value before publication: guarded fields of a
+// fresh local are exempt until the constructor returns.
+func newTable() *table {
+	t := &table{}
+	t.rows = make(map[string]int)
+	t.gen = 1
+	return t
+}
+
+// get holds the read half for a read: sufficient.
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+// put holds the write half for writes.
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.rows[k] = v
+	t.gen++
+	t.mu.Unlock()
+}
+
+// putLocked touches guarded fields with no local lock, but every caller
+// holds the write half — the entry-held fixpoint proves it.
+func (t *table) putLocked(k string, v int) {
+	t.rows[k] = v
+	t.gen++
+}
+
+func (t *table) putTwo(k1, k2 string, v int) {
+	t.mu.Lock()
+	t.putLocked(k1, v)
+	t.putLocked(k2, v)
+	t.mu.Unlock()
+}
+
+// bump uses sync/atomic on the guarded counter: allowed lock-free.
+func (t *table) bump() int64 {
+	return atomic.AddInt64(&t.hits, 1)
+}

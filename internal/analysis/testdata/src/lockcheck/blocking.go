@@ -1,0 +1,50 @@
+package fixture
+
+import (
+	"net/http"
+	"sync"
+
+	"texid/internal/kvstore"
+)
+
+// A mutex held across a cluster RPC or TCP connect serializes every other
+// request on that lock behind one slow peer.
+type rpc struct {
+	mu   sync.Mutex
+	cl   *http.Client
+	addr string
+	conn *kvstore.Client
+}
+
+func (r *rpc) fetchLocked(url string) (*http.Response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cl.Get(url) // want "r.mu is held across an HTTP round-trip"
+}
+
+func (r *rpc) postLocked(url string) (*http.Response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cl.Post(url, "application/octet-stream", nil) // want "r.mu is held across an HTTP round-trip"
+}
+
+func (r *rpc) dialLocked() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	conn, err := kvstore.Dial(r.addr) // want "r.mu is held across kvstore.Dial"
+	r.conn = conn
+	return err
+}
+
+// dialThenPublish connects outside the critical section and only takes the
+// lock to publish the connection: the allowed shape.
+func (r *rpc) dialThenPublish() error {
+	conn, err := kvstore.DialTimeout(r.addr, 0)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.conn = conn
+	r.mu.Unlock()
+	return nil
+}

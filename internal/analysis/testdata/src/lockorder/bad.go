@@ -1,0 +1,51 @@
+package fixture
+
+import "sync"
+
+// Two package-level mutexes acquired in opposite orders on two paths: the
+// classic AB-BA deadlock. The cycle is reported once, at the lexically
+// first witness acquisition.
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want "lock-order cycle between lockorder.muA and lockorder.muB"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+type gate struct {
+	rw sync.RWMutex
+	mu sync.Mutex
+	n  int
+}
+
+// upgrade attempts the RLock→Lock upgrade: the Lock can never be granted
+// while this goroutine still holds the read half.
+func (g *gate) upgrade() int {
+	g.rw.RLock()
+	n := g.n
+	g.rw.Lock() // want "RLock→Lock upgrade on lockorder.gate.rw"
+	g.n = n + 1
+	g.rw.Unlock()
+	g.rw.RUnlock()
+	return n
+}
+
+// relock reacquires a plain mutex it already holds.
+func (g *gate) relock() {
+	g.mu.Lock()
+	g.mu.Lock() // want "lockorder.gate.mu is already held here; reacquiring it self-deadlocks"
+	g.mu.Unlock()
+	g.mu.Unlock()
+}

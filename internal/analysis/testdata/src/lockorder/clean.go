@@ -1,0 +1,74 @@
+package fixture
+
+import "sync"
+
+// Consistent global order (muC before muD everywhere, including through a
+// call) produces an acyclic acquisition graph: no findings.
+var (
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+func cdOrderDirect() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func cdOrderViaCall() {
+	muC.Lock()
+	lockD()
+	muC.Unlock()
+}
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+type account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+// transfer locks two *instances* of the same class; cross-instance
+// ordering within one class is sharding, not self-deadlock, and is not
+// reported (a runtime ordering discipline — e.g. by account ID — is the
+// fix, which a static class graph cannot see).
+func transfer(from, to *account, amount int) {
+	from.mu.Lock()
+	to.mu.Lock()
+	from.bal -= amount
+	to.bal += amount
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+
+type reader struct {
+	rw sync.RWMutex
+	n  int
+}
+
+// readThenWrite releases the read half before taking the write half: the
+// legal way to "upgrade".
+func (r *reader) readThenWrite() {
+	r.rw.RLock()
+	n := r.n
+	r.rw.RUnlock()
+	r.rw.Lock()
+	r.n = n + 1
+	r.rw.Unlock()
+}
+
+// sharedReaders takes the read half twice on a shared path; R-after-R is
+// legal on an RWMutex and is not reported.
+func (r *reader) peekTwice() int {
+	r.rw.RLock()
+	a := r.n
+	r.rw.RUnlock()
+	r.rw.RLock()
+	b := r.n
+	r.rw.RUnlock()
+	return a + b
+}

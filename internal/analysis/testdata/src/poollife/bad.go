@@ -1,0 +1,51 @@
+package fixture
+
+import "sync"
+
+type item struct {
+	n   int
+	buf []byte
+}
+
+var pool = sync.Pool{New: func() any { return new(item) }}
+
+// useAfterPut touches the object after handing it back: the pool may have
+// reissued it to another goroutine already.
+func useAfterPut() int {
+	v := pool.Get().(*item)
+	v.n = 7
+	pool.Put(v)
+	return v.n // want "v is used after being handed back to the sync.Pool"
+}
+
+// doublePut recycles the same object twice.
+func doublePut() {
+	v := pool.Get().(*item)
+	pool.Put(v)
+	pool.Put(v) // want "v is recycled twice"
+}
+
+// deferredEscape returns the object a deferred Put recycles on exit.
+func deferredEscape() *item {
+	v := pool.Get().(*item)
+	defer pool.Put(v)
+	v.n = 1
+	return v // want "v is returned, but a deferred the sync.Pool recycles it"
+}
+
+// recycle hands an item back to a package freelist; callers must not
+// touch it afterwards.
+//
+//texlint:freelist
+func recycle(it *item) {
+	it.n = 0
+	it.buf = it.buf[:0]
+	freelist = append(freelist, it)
+}
+
+var freelist []*item
+
+func useAfterRecycle(it *item) {
+	recycle(it)
+	it.n = 5 // want "it is used after being handed back to recycle"
+}

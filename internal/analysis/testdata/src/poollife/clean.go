@@ -1,0 +1,35 @@
+package fixture
+
+// getPutClean uses the object strictly before the put.
+func getPutClean() int {
+	v := pool.Get().(*item)
+	n := v.n
+	pool.Put(v)
+	return n
+}
+
+// deferredPut is the standard scratch idiom: the deferred Put runs after
+// every body use, so uses between defer and return are fine.
+func deferredPut(data []byte) int {
+	v := pool.Get().(*item)
+	defer pool.Put(v)
+	v.buf = append(v.buf[:0], data...)
+	return len(v.buf)
+}
+
+// rebind gets a fresh object after the put: the new binding is unrelated
+// to the recycled one.
+func rebind() int {
+	v := pool.Get().(*item)
+	pool.Put(v)
+	v = pool.Get().(*item)
+	n := v.n
+	pool.Put(v)
+	return n
+}
+
+// recycleLast hands the item back as its final act.
+func recycleLast(it *item) {
+	it.n = 0
+	recycle(it)
+}

@@ -52,7 +52,7 @@ func poolInit() {
 	poolSize = runtime.NumCPU()
 	poolCh = make(chan *poolJob, poolSize)
 	for w := 0; w < poolSize; w++ {
-		go poolWorker()
+		go poolWorker() //texlint:ignore goleak the worker pool is process-lifetime by design: one set of NumCPU workers parks on poolCh forever so kernel launches never pay goroutine spawn; there is deliberately no shutdown path
 	}
 }
 

@@ -82,9 +82,11 @@ type Cluster struct {
 	store     *kvstore.Client
 	batcher   *serve.Batcher[serve.Query, coalescedResult]
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//texlint:guards mu
 	shards map[int]int // texture id -> worker index
-	next   int         // round-robin cursor
+	//texlint:guards mu
+	next int // round-robin cursor
 
 	// Service metrics, exposed at /metrics.
 	reg              *metrics.Registry

@@ -76,9 +76,12 @@ func (p HealthPolicy) withDefaults() HealthPolicy {
 type healthFSM struct {
 	pol HealthPolicy
 
-	mu      sync.Mutex
-	state   HealthState
-	fails   int // consecutive failures
+	mu sync.Mutex
+	//texlint:guards mu
+	state HealthState
+	//texlint:guards mu
+	fails int // consecutive failures
+	//texlint:guards mu
 	skipped int // calls skipped while Dead, counts toward the next probe
 }
 

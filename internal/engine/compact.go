@@ -75,32 +75,25 @@ func (e *Engine) Compact() (reclaimed int, err error) {
 		e.hybrid.Remove(it.ID)
 	}
 
-	var pendingUIDs []int
-	var pendingMats []*blas.Matrix
-	flush := func() error {
-		if len(pendingUIDs) == 0 {
-			return nil
+	for start := 0; start < len(all); start += e.cfg.BatchSize {
+		end := start + e.cfg.BatchSize
+		if end > len(all) {
+			end = len(all)
 		}
-		rb, err := knn.NewRefBatch(e.dev, pendingUIDs, pendingMats, e.cfg.Precision,
+		uids := make([]int, 0, end-start)
+		mats := make([]*blas.Matrix, 0, end-start)
+		for _, l := range all[start:end] {
+			uids = append(uids, l.uid)
+			mats = append(mats, l.feats)
+		}
+		rb, err := knn.NewRefBatch(e.dev, uids, mats, e.cfg.Precision,
 			e.cfg.Scale, e.cfg.Algorithm != knn.RootSIFT)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		pendingUIDs = nil
-		pendingMats = nil
-		return e.commitBatchLocked(rb)
-	}
-	for _, l := range all {
-		pendingUIDs = append(pendingUIDs, l.uid)
-		pendingMats = append(pendingMats, l.feats)
-		if len(pendingUIDs) >= e.cfg.BatchSize {
-			if err := flush(); err != nil {
-				return 0, err
-			}
+		if err := e.commitBatchLocked(rb); err != nil {
+			return 0, err
 		}
-	}
-	if err := flush(); err != nil {
-		return 0, err
 	}
 	return dead, nil
 }

@@ -116,13 +116,20 @@ type Engine struct {
 	cfg Config
 	dev *gpusim.Device
 
-	mu          sync.RWMutex
-	hybrid      *cache.Hybrid
-	refs        map[int]*refMeta // public id -> meta
-	uidToPublic map[int]int      // internal uid -> public id
-	nextUID     int
+	mu sync.RWMutex
+	//texlint:guards mu
+	hybrid *cache.Hybrid
+	//texlint:guards mu
+	refs map[int]*refMeta // public id -> meta
+	//texlint:guards mu
+	uidToPublic map[int]int // internal uid -> public id
+	//texlint:guards mu
+	nextUID int
+	//texlint:guards mu
 	nextBatchID int
+	//texlint:guards mu
 	pendingUIDs []int
+	//texlint:guards mu
 	pendingMats []*blas.Matrix
 	workspace   int64
 	searches    atomic.Int64
@@ -133,10 +140,14 @@ type Engine struct {
 	// through the search paths makes steady-state Search allocation-free
 	// on the host hot path (Report.Ranked is the one fresh allocation,
 	// since it escapes to the caller).
-	execMu   sync.Mutex
-	streams  []*gpusim.Stream
-	scratch  knn.Scratch
+	execMu sync.Mutex
+	//texlint:guards execMu
+	streams []*gpusim.Stream
+	//texlint:guards execMu
+	scratch knn.Scratch
+	//texlint:guards execMu
 	qscratch knn.QueryScratch
+	//texlint:guards execMu
 	itemsBuf []*cache.Item
 }
 

@@ -16,8 +16,10 @@ import (
 // aofLog serializes mutations to disk.
 type aofLog struct {
 	mu sync.Mutex
-	f  *os.File
-	w  *bufio.Writer
+	//texlint:guards mu
+	f *os.File
+	//texlint:guards mu
+	w *bufio.Writer
 }
 
 // append logs one command and flushes it (durability over throughput; the

@@ -12,9 +12,13 @@ import (
 // for the commands this package implements). It serializes requests over a
 // single connection and is safe for concurrent use.
 type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	r       *bufio.Reader
+	mu sync.Mutex
+	// conn is immutable after Dial; Close uses it without mu by design
+	// (closing the socket is what unblocks a request parked in do).
+	conn net.Conn
+	//texlint:guards mu
+	r *bufio.Reader
+	//texlint:guards mu
 	w       *bufio.Writer
 	timeout time.Duration // per-exchange I/O deadline; 0 = none
 }

@@ -13,8 +13,10 @@ type Server struct {
 	store *Store
 	ln    net.Listener
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	mu sync.Mutex
+	//texlint:guards mu
+	conns map[net.Conn]struct{}
+	//texlint:guards mu
 	closed bool
 	wg     sync.WaitGroup
 }

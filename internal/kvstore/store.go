@@ -20,10 +20,12 @@ import (
 // Store is the in-memory database. It is safe for concurrent use and can
 // be used directly (embedded) or served over TCP.
 type Store struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	//texlint:guards mu
 	strings map[string][]byte
-	hashes  map[string]map[string][]byte
-	aof     *aofLog // nil for purely in-memory stores
+	//texlint:guards mu
+	hashes map[string]map[string][]byte
+	aof    *aofLog // nil for purely in-memory stores
 }
 
 // NewStore creates an empty store.

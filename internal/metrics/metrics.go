@@ -19,11 +19,15 @@ import (
 // Registry holds named metrics. The zero value is not usable; call
 // NewRegistry.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
+	mu sync.Mutex
+	//texlint:guards mu
+	counters map[string]*Counter
+	//texlint:guards mu
+	gauges map[string]*Gauge
+	//texlint:guards mu
 	histograms map[string]*Histogram
-	help       map[string]string
+	//texlint:guards mu
+	help map[string]string
 }
 
 // NewRegistry creates an empty registry.

@@ -78,12 +78,16 @@ type Batcher[Q, R any] struct {
 	run  Runner[Q, R]
 	opts Options
 
-	mu      sync.Mutex
-	idle    sync.Cond // signaled when the leader resigns
-	queue   []*call[Q, R]
-	free    []*call[Q, R]
+	mu   sync.Mutex
+	idle sync.Cond // signaled when the leader resigns
+	//texlint:guards mu
+	queue []*call[Q, R]
+	//texlint:guards mu
+	free []*call[Q, R]
+	//texlint:guards mu
 	leading bool
-	closed  bool
+	//texlint:guards mu
+	closed bool
 
 	// full wakes a Window-waiting leader early when the queue reaches
 	// MaxBatch (buffered(1); signaled outside mu, best-effort).
@@ -94,9 +98,12 @@ type Batcher[Q, R any] struct {
 	queries []Q
 
 	// Stats, guarded by mu.
+	//texlint:guards mu
 	submitted uint64
-	batches   uint64
-	sizeHist  [len(sizeBuckets) + 1]uint64
+	//texlint:guards mu
+	batches uint64
+	//texlint:guards mu
+	sizeHist [len(sizeBuckets) + 1]uint64
 }
 
 // sizeBuckets are the achieved-batch-size histogram bucket upper bounds;
@@ -187,8 +194,11 @@ func (b *Batcher[Q, R]) submit(query Q) (c *call[Q, R], lead, signal bool) {
 	return c, lead, signal
 }
 
-// release returns a completed call to the freelist.
+// release returns a completed call to the freelist. The pooled call must
+// not be touched afterwards: the freelist may reissue it to a concurrent
+// Do immediately (poollife enforces this at every call site).
 //
+//texlint:freelist
 //texlint:hotpath
 func (b *Batcher[Q, R]) release(c *call[Q, R]) {
 	var zeroQ Q

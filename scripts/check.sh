@@ -15,11 +15,25 @@ go vet ./...
 echo "==> texlint"
 go run ./cmd/texlint -baseline texlint.baseline ./...
 
+# Every registered check must ship a fixture package: a check without one
+# has no proof it still catches its true positives.
+echo "==> fixture coverage"
+for c in $(go run ./cmd/texlint -list-checks); do
+  if [[ ! -d "internal/analysis/testdata/src/$c" ]]; then
+    echo "check.sh: check '$c' has no fixture directory under internal/analysis/testdata/src/" >&2
+    exit 1
+  fi
+done
+
 echo "==> texlint -fixtures"
 go run ./cmd/texlint -fixtures
 
-echo "==> go test -race"
-go test -race ./...
+# The race suite also runs as its own CI job; TEXID_SKIP_RACE lets that
+# job's sibling skip the duplicate run. Local runs always include it.
+if [[ "${TEXID_SKIP_RACE:-0}" != 1 ]]; then
+  echo "==> go test -race"
+  go test -race ./...
+fi
 
 # Tier 3 (opt-in): wall-clock host benchmarks with a regression gate.
 # Machine-dependent, so not part of the default gate.
