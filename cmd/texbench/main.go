@@ -18,11 +18,40 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"strconv"
 	"strings"
 	"time"
 
 	"texid/internal/bench"
 )
+
+// maxNSFlag collects repeatable -max-ns op=ns pairs into absolute wall-clock
+// ceilings. Unlike -baseline (relative, tolerant), a ceiling is a hard gate:
+// the run fails if the op measures slower than the given ns/op no matter what
+// the last committed numbers were.
+type maxNSFlag map[string]float64
+
+func (f maxNSFlag) String() string {
+	parts := make([]string, 0, len(f))
+	for op, ns := range f {
+		parts = append(parts, fmt.Sprintf("%s=%.0f", op, ns))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f maxNSFlag) Set(v string) error {
+	op, nsStr, ok := strings.Cut(v, "=")
+	if !ok || op == "" {
+		return fmt.Errorf("want op=ns, got %q", v)
+	}
+	ns, err := strconv.ParseFloat(nsStr, 64)
+	if err != nil || ns <= 0 {
+		return fmt.Errorf("bad ns/op ceiling %q", nsStr)
+	}
+	f[op] = ns
+	return nil
+}
 
 func main() {
 	opts := bench.DefaultOptions()
@@ -36,6 +65,11 @@ func main() {
 	servingWall := flag.Bool("serving-wall", false,
 		"with -serving: also run the machine-dependent wall-clock load generators (closed and open loop)")
 	count := flag.Int("count", 3, "wall-clock runs per op (best is reported)")
+	opFilter := flag.String("op", "",
+		"with -wallclock: only run ops whose name matches this regexp (fixtures for skipped ops are not built)")
+	maxNS := maxNSFlag{}
+	flag.Var(maxNS, "max-ns",
+		"with -wallclock: absolute ceiling op=ns/op; repeatable; exit 1 if the op measures slower")
 	outPath := flag.String("out", "", "write the benchmark report to this JSON file (BENCH_HOST.json / BENCH_SERVE.json)")
 	baselinePath := flag.String("baseline", "", "compare the report against this JSON file; exit 1 on regression (>20% ns/op wall-clock, >10% QPS or identity/speedup-floor serving)")
 	validateBaseline := flag.Bool("validate-baseline", false,
@@ -87,7 +121,15 @@ func main() {
 	}
 
 	if *wallclock {
-		runWallclock(*count, *outPath, *baselinePath)
+		var opRe *regexp.Regexp
+		if *opFilter != "" {
+			var err error
+			if opRe, err = regexp.Compile(*opFilter); err != nil {
+				fmt.Fprintln(os.Stderr, "texbench: bad -op regexp:", err)
+				os.Exit(2)
+			}
+		}
+		runWallclock(*count, opRe, maxNS, *outPath, *baselinePath)
 		return
 	}
 
@@ -171,11 +213,17 @@ func runServing(includeWall bool, outPath, baselinePath string) {
 	}
 }
 
-// runWallclock runs the host wall-clock suite, optionally writing the
-// report and/or enforcing a regression gate against a committed baseline.
-func runWallclock(count int, outPath, baselinePath string) {
+// runWallclock runs the host wall-clock suite (filtered to ops matching
+// opRe when non-nil), optionally writing the report, enforcing absolute
+// ns/op ceilings, and/or enforcing a regression gate against a committed
+// baseline.
+func runWallclock(count int, opRe *regexp.Regexp, maxNS map[string]float64, outPath, baselinePath string) {
 	start := time.Now()
-	rep := bench.RunHostBench(count)
+	rep := bench.RunHostBench(count, opRe)
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "texbench: -op filter matched no benchmark ops")
+		os.Exit(2)
+	}
 	fmt.Printf("%-28s %14s %10s %12s\n", "op", "ns/op", "MB/s", "allocs/op")
 	for _, r := range rep.Results {
 		fmt.Printf("%-28s %14.0f %10.1f %12.1f\n", r.Op, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
@@ -189,6 +237,27 @@ func runWallclock(count int, outPath, baselinePath string) {
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
+	if len(maxNS) > 0 {
+		ran := make(map[string]bool, len(rep.Results))
+		for _, r := range rep.Results {
+			ran[r.Op] = true
+		}
+		failed := false
+		for op := range maxNS {
+			if !ran[op] {
+				fmt.Fprintf(os.Stderr, "texbench: -max-ns op %q did not run (check -op filter)\n", op)
+				failed = true
+			}
+		}
+		for _, v := range bench.CheckCeilings(rep, maxNS) {
+			fmt.Fprintln(os.Stderr, "CEILING EXCEEDED:", v)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "all %d ns/op ceiling(s) met\n", len(maxNS))
 	}
 	if baselinePath != "" {
 		base, err := bench.LoadHostReport(baselinePath)

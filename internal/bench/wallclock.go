@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
 	"time"
 
@@ -95,11 +96,14 @@ type hostOp struct {
 
 // RunHostBench runs the wall-clock suite, taking the best of count runs per
 // op. The op set covers the host hot paths: the packed GEMM micro-kernel,
-// the FP16 GEMM, the separable blur, full SIFT extraction, steady-state
-// engine search (FP32 and FP16), and the end-to-end extract+search path.
-func RunHostBench(count int) *HostReport {
+// the FP16 GEMM (both accumulator modes), the separable blur, full SIFT
+// extraction, steady-state engine search (FP32 and FP16), and the
+// end-to-end extract+search path. A non-nil opFilter restricts the suite
+// to ops whose name matches, so a single op can be iterated on locally
+// without paying for the rest (fixtures for skipped ops are never built).
+func RunHostBench(count int, opFilter *regexp.Regexp) *HostReport {
 	rep := &HostReport{GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	for _, op := range hostOps() {
+	for _, op := range hostOps(opFilter) {
 		ns, allocs := measure(count, op.fn)
 		rep.Results = append(rep.Results, HostOpResult{
 			Op:          op.Op(),
@@ -113,37 +117,56 @@ func RunHostBench(count int) *HostReport {
 
 func (op hostOp) Op() string { return op.name }
 
-func hostOps() []hostOp {
+// hostOps builds the suite, constructing fixtures only for ops that pass
+// opFilter (nil keeps everything) — the engine fixtures in particular are
+// too expensive to build just to be skipped.
+func hostOps(opFilter *regexp.Regexp) []hostOp {
+	keep := func(name string) bool { return opFilter == nil || opFilter.MatchString(name) }
 	var ops []hostOp
 
 	// Packed FP32 GEMM at the paper's similarity-matrix shape.
-	{
+	if name := fmt.Sprintf("gemm_tn_%dx%dx%d", 768, 768, 128); keep(name) {
 		const m, n, d = 768, 768, 128
 		A := randMatrix(1, d, m)
 		B := randMatrix(2, d, n)
 		C := blas.NewMatrix(m, n)
 		ops = append(ops, hostOp{
-			name:  fmt.Sprintf("gemm_tn_%dx%dx%d", m, n, d),
+			name:  name,
 			bytes: float64(4 * (m*d + n*d + m*n)),
 			fn:    func() { blas.GemmTN(-2, A, B, 0, C) },
 		})
 	}
 
-	// FP16 GEMM (binary16 rounding chain dominates; staging is pooled).
+	// FP16 GEMM, both accumulator modes (the F16C fused-rounding kernels;
+	// staging is pooled, and the fp32acc variant pins the tensor-core-mode
+	// lane that the steady-state fixtures don't exercise).
 	{
 		const m, n, d = 256, 256, 128
-		A, _ := blas.HalfFromMatrix(randMatrix(3, d, m), 1)
-		B, _ := blas.HalfFromMatrix(randMatrix(4, d, n), 1)
-		C := blas.NewMatrix(m, n)
-		ops = append(ops, hostOp{
-			name:  fmt.Sprintf("hgemm_tn_%dx%dx%d", m, n, d),
-			bytes: float64(2*(m*d+n*d) + 4*m*n),
-			fn:    func() { blas.HGemmTN(-2, A, B, blas.AccumFP16, C) },
-		})
+		name16 := fmt.Sprintf("hgemm_tn_%dx%dx%d", m, n, d)
+		name32 := fmt.Sprintf("hgemm_tn_%dx%dx%d_fp32acc", m, n, d)
+		if keep(name16) || keep(name32) {
+			A, _ := blas.HalfFromMatrix(randMatrix(3, d, m), 1)
+			B, _ := blas.HalfFromMatrix(randMatrix(4, d, n), 1)
+			C := blas.NewMatrix(m, n)
+			if keep(name16) {
+				ops = append(ops, hostOp{
+					name:  name16,
+					bytes: float64(2*(m*d+n*d) + 4*m*n),
+					fn:    func() { blas.HGemmTN(-2, A, B, blas.AccumFP16, C) },
+				})
+			}
+			if keep(name32) {
+				ops = append(ops, hostOp{
+					name:  name32,
+					bytes: float64(2*(m*d+n*d) + 4*m*n),
+					fn:    func() { blas.HGemmTN(-2, A, B, blas.AccumFP32, C) },
+				})
+			}
+		}
 	}
 
 	// Separable Gaussian blur on a pyramid-base-sized image.
-	{
+	if keep("blur_512_sigma1.6") {
 		p := texture.DefaultGenParams()
 		p.Size = 512
 		im := texture.Generate(11, p)
@@ -155,7 +178,7 @@ func hostOps() []hostOp {
 	}
 
 	// Full SIFT extraction (pyramid + detect + describe + RootSIFT).
-	{
+	if keep("sift_extract_128") {
 		p := texture.DefaultGenParams()
 		p.Size = 128
 		im := texture.Generate(12, p)
@@ -171,18 +194,25 @@ func hostOps() []hostOp {
 	// Steady-state engine search and the end-to-end extract+search path.
 	for _, prec := range []gpusim.Precision{gpusim.FP32, gpusim.FP16} {
 		prec := prec
+		searchName := "engine_search_steady_" + prec.String()
+		e2e := prec == gpusim.FP32
+		if !keep(searchName) && !(e2e && keep("extract_search_e2e")) {
+			continue
+		}
 		eng, queryIm, queryFeats, cfg := searchFixture(prec)
 		bytesPerSearch := float64(searchRefs) * float64(searchM) * 128 * float64(prec.ElemBytes())
-		ops = append(ops, hostOp{
-			name:  "engine_search_steady_" + prec.String(),
-			bytes: bytesPerSearch,
-			fn: func() {
-				if _, err := eng.Search(queryFeats.Descriptors, queryFeats.Keypoints); err != nil {
-					panic(fmt.Sprintf("bench: search: %v", err))
-				}
-			},
-		})
-		if prec == gpusim.FP32 {
+		if keep(searchName) {
+			ops = append(ops, hostOp{
+				name:  searchName,
+				bytes: bytesPerSearch,
+				fn: func() {
+					if _, err := eng.Search(queryFeats.Descriptors, queryFeats.Keypoints); err != nil {
+						panic(fmt.Sprintf("bench: search: %v", err))
+					}
+				},
+			})
+		}
+		if e2e && keep("extract_search_e2e") {
 			ops = append(ops, hostOp{
 				name:  "extract_search_e2e",
 				bytes: bytesPerSearch,
@@ -196,6 +226,27 @@ func hostOps() []hostOp {
 		}
 	}
 	return ops
+}
+
+// CheckCeilings returns one message per op whose measured ns/op exceeds its
+// entry in ceilings (op name → max ns/op). Unlike the relative baseline
+// comparison, ceilings are absolute floors-of-speedup: bench.sh uses them
+// to assert the FP16 fast path stays an order of magnitude ahead of the
+// pre-optimization numbers, not merely unregressed against the last run.
+func CheckCeilings(rep *HostReport, ceilings map[string]float64) []string {
+	var violations []string
+	for _, r := range rep.Results {
+		maxNs, ok := ceilings[r.Op]
+		if !ok {
+			continue
+		}
+		if r.NsPerOp > maxNs {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f ns/op exceeds ceiling %.0f ns/op (%.2fx over)",
+					r.Op, r.NsPerOp, maxNs, r.NsPerOp/maxNs))
+		}
+	}
+	return violations
 }
 
 const (

@@ -3,6 +3,7 @@ package blas
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"texid/internal/half"
 )
@@ -33,15 +34,36 @@ func (m AccumMode) String() string {
 
 // HalfMatrix is a dense column-major binary16 matrix, the storage format of
 // reference feature matrices in simulated device memory.
+//
+// Every content-changing operation in this package (NewHalfMatrix,
+// HalfFromMatrixInto, ConcatHalfColumnsInto) stamps the matrix with a fresh
+// generation from a global counter; Panel uses the stamp to decide whether
+// a cached widened copy is still valid. Code that mutates Data directly
+// must call Invalidate afterwards or cached panels will serve stale floats.
 type HalfMatrix struct {
 	Rows, Cols int
 	Stride     int
 	Data       half.Vector
+
+	gen uint64 // content generation; see Invalidate
 }
+
+// halfGen hands out content generations for HalfMatrix. Generation 0 is
+// reserved for zero-value matrices so a stamped matrix never collides with
+// an unstamped literal.
+var halfGen atomic.Uint64
+
+// Invalidate stamps the matrix with a fresh content generation, forcing any
+// Panel cached from it to re-widen on next use. The package's own
+// constructors and converters call it; external code only needs it after
+// writing to Data directly.
+func (m *HalfMatrix) Invalidate() { m.gen = halfGen.Add(1) }
 
 // NewHalfMatrix allocates a zeroed rows×cols binary16 matrix.
 func NewHalfMatrix(rows, cols int) *HalfMatrix {
-	return &HalfMatrix{Rows: rows, Cols: cols, Stride: rows, Data: make(half.Vector, rows*cols)}
+	h := &HalfMatrix{Rows: rows, Cols: cols, Stride: rows, Data: make(half.Vector, rows*cols)}
+	h.Invalidate()
+	return h
 }
 
 // HalfFromMatrix converts a float32 matrix to binary16 after multiplying by
@@ -61,6 +83,7 @@ func HalfFromMatrixInto(m *Matrix, scale float32, h *HalfMatrix) int {
 	}
 	h.Rows, h.Cols, h.Stride = m.Rows, m.Cols, m.Rows
 	h.Data = h.Data[:m.Rows*m.Cols]
+	h.Invalidate()
 	overflow := 0
 	for j := 0; j < m.Cols; j++ {
 		src := m.Col(j)
@@ -96,6 +119,7 @@ func ConcatHalfColumnsInto(dst *HalfMatrix, ms ...*HalfMatrix) *HalfMatrix {
 	}
 	dst.Rows, dst.Cols, dst.Stride = rows, total, rows
 	dst.Data = dst.Data[:rows*total]
+	dst.Invalidate()
 	at := 0
 	for _, m := range ms {
 		for j := 0; j < m.Cols; j++ {
@@ -121,16 +145,15 @@ func (m *HalfMatrix) Bytes() int { return 2 * m.Rows * m.Cols }
 func (m *HalfMatrix) Float32() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)
 	for j := 0; j < m.Cols; j++ {
-		src := m.Col(j)
-		dst := out.Col(j)
-		for i, h := range src {
-			dst[i] = h.Float32()
-		}
+		widenCol(out.Col(j), m.Col(j))
 	}
 	return out
 }
 
-// Slice returns a view of columns [from, to) sharing storage with m.
+// Slice returns a view of columns [from, to) sharing storage with m. The
+// view shares m's content generation: it stays valid as long as m is not
+// restamped, and a Panel cached from the view is invalidated by the same
+// writes that invalidate one cached from m.
 func (m *HalfMatrix) Slice(from, to int) *HalfMatrix {
 	if from < 0 || to > m.Cols || from > to {
 		panic(fmt.Sprintf("blas: slice [%d,%d) of %d columns", from, to, m.Cols))
@@ -140,6 +163,7 @@ func (m *HalfMatrix) Slice(from, to int) *HalfMatrix {
 		Cols:   to - from,
 		Stride: m.Stride,
 		Data:   m.Data[from*m.Stride : from*m.Stride+(to-from-1)*m.Stride+m.Rows],
+		gen:    m.gen,
 	}
 }
 
@@ -152,45 +176,190 @@ func (m *HalfMatrix) Slice(from, to int) *HalfMatrix {
 // alpha is applied after accumulation in float32, matching cuBLAS's
 // epilogue, so alpha = -2 cannot itself overflow the FP16 accumulator.
 //
+// Both operands are staged into pooled float32 scratch per call; when the
+// left operand is a long-lived resident matrix, HGemmTNPanel skips the A
+// staging by reusing a cached Panel.
+//
 //texlint:hotpath
 func HGemmTN(alpha float32, A, B *HalfMatrix, mode AccumMode, C *Matrix) {
+	m, n, k := hgemmShape(A, B, C)
+	if m == 0 || n == 0 {
+		return
+	}
+	pa, aw := getF32(m * k)
+	defer f32Pool.Put(pa)
+	widenHalf(A, aw)
+	pb, bw := getF32(n * k)
+	defer f32Pool.Put(pb)
+	widenHalf(B, bw)
+	hgemmCore(alpha, aw, bw, m, n, k, mode, C)
+}
+
+// hgemmShape validates the operand shapes and returns (m, n, k).
+func hgemmShape(A, B *HalfMatrix, C *Matrix) (m, n, k int) {
 	if A.Rows != B.Rows {
 		panic(fmt.Sprintf("blas: HGemmTN inner dimension mismatch %d != %d", A.Rows, B.Rows))
 	}
 	if C.Rows != A.Cols || C.Cols != B.Cols {
 		panic(fmt.Sprintf("blas: HGemmTN output %dx%d, want %dx%d", C.Rows, C.Cols, A.Cols, B.Cols))
 	}
-	m, n, k := A.Cols, B.Cols, A.Rows
-	if m == 0 || n == 0 {
-		return
-	}
-	// Stage both operands into pooled float32 scratch (tight k-stride
-	// columns) instead of allocating full widened matrices per call; the
-	// rounding semantics live entirely in the accumulation below. Every
-	// element is one sequential chain over k inside a fixed 8-column
-	// block, so the output is bitwise independent of GOMAXPROCS.
-	pa, aw := getF32(m * k)
-	defer f32Pool.Put(pa)
-	pb, bw := getF32(n * k)
-	defer f32Pool.Put(pb)
-	widenHalf(A, aw)
-	widenHalf(B, bw)
+	return A.Cols, B.Cols, A.Rows
+}
+
+// hgemmCore runs the blocked kernel over pre-widened k-stride operands.
+// Work is partitioned into fixed 8-column blocks of B; every output element
+// is one sequential rounding chain over k inside its block, so the result
+// is bitwise independent of GOMAXPROCS and of which kernel (asm or
+// portable) computes it.
+//
+//texlint:hotpath
+func hgemmCore(alpha float32, aw, bw []float32, m, n, k int, mode AccumMode, C *Matrix) {
 	const jBlock = 8
 	Parallel((n+jBlock-1)/jBlock, func(blk int) {
-		for j := blk * jBlock; j < min((blk+1)*jBlock, n); j++ {
-			bcol := bw[j*k : j*k+k]
-			ccol := C.Col(j)
-			for i := 0; i < m; i++ {
-				var d float32
-				if mode == AccumFP16 {
-					d = dotFP16(aw[i*k:i*k+k], bcol)
-				} else {
-					d = dotProductsFP16(aw[i*k:i*k+k], bcol)
-				}
-				ccol[i] = alpha * d
-			}
+		j0 := blk * jBlock
+		j1 := min(j0+jBlock, n)
+		if useF16C && j1-j0 == jBlock && m >= 4 && k > 0 {
+			hgemmOctAsm(alpha, aw, bw, m, k, j0, mode, C)
+			return
 		}
+		hgemmBlockGo(alpha, aw, bw, 0, m, k, j0, j1, mode, C)
 	})
+}
+
+// hgemmOctAsm runs one full 8-column B octet through the F16C assembly
+// kernels. The octet is packed interleaved (bo[l*8+c] = B[l, j0+c]) into
+// pooled scratch so each kernel invocation streams one cache line per k
+// step; A columns are read in place via broadcasts. The m%4 row tail falls
+// back to the portable kernel, which is bit-identical per element.
+func hgemmOctAsm(alpha float32, aw, bw []float32, m, k, j0 int, mode AccumMode, C *Matrix) {
+	pbo, bo := getF32(k * 8)
+	defer f32Pool.Put(pbo)
+	for c := 0; c < 8; c++ {
+		col := bw[(j0+c)*k : (j0+c)*k+k]
+		for l, v := range col {
+			bo[l*8+c] = v
+		}
+	}
+	var out [32]float32
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		if mode == AccumFP16 {
+			hkernOct16(&aw[i*k], k, &bo[0], &out[0])
+		} else {
+			hkernOct32(&aw[i*k], k, &bo[0], &out[0])
+		}
+		for c := 0; c < 8; c++ {
+			ccol := C.Col(j0 + c)
+			ccol[i+0] = alpha * out[0*8+c]
+			ccol[i+1] = alpha * out[1*8+c]
+			ccol[i+2] = alpha * out[2*8+c]
+			ccol[i+3] = alpha * out[3*8+c]
+		}
+	}
+	if i < m {
+		hgemmBlockGo(alpha, aw, bw, i, m, k, j0, j0+8, mode, C)
+	}
+}
+
+// hgemmBlockGo is the portable kernel for B columns [j0, j1) and A columns
+// [i0, m). Four independent accumulator chains run per step so the
+// latency-bound round chain overlaps across outputs; the chain order over k
+// within each output is exactly the scalar order, so results are
+// bit-identical to dotFP16/dotProductsFP16 and to the asm kernel.
+func hgemmBlockGo(alpha float32, aw, bw []float32, i0, m, k, j0, j1 int, mode AccumMode, C *Matrix) {
+	for j := j0; j < j1; j++ {
+		bcol := bw[j*k : j*k+k]
+		ccol := C.Col(j)
+		i := i0
+		for ; i+4 <= m; i += 4 {
+			a0 := aw[(i+0)*k : (i+0)*k+k]
+			a1 := aw[(i+1)*k : (i+1)*k+k]
+			a2 := aw[(i+2)*k : (i+2)*k+k]
+			a3 := aw[(i+3)*k : (i+3)*k+k]
+			a0 = a0[:len(bcol)]
+			a1 = a1[:len(bcol)]
+			a2 = a2[:len(bcol)]
+			a3 = a3[:len(bcol)]
+			// The loops below spell out d = roundHalf(d + roundHalf(a*b))
+			// through roundFast so the bit trick inlines (roundHalf itself
+			// is over the inline budget because of its escape call); the
+			// escape calls stay here in the kernel where calls are free.
+			var d0, d1, d2, d3 float32
+			if mode == AccumFP16 {
+				for l, bv := range bcol {
+					p0, ok0 := roundFast(a0[l] * bv)
+					p1, ok1 := roundFast(a1[l] * bv)
+					p2, ok2 := roundFast(a2[l] * bv)
+					p3, ok3 := roundFast(a3[l] * bv)
+					if !ok0 {
+						p0 = roundHalfSlow(p0)
+					}
+					if !ok1 {
+						p1 = roundHalfSlow(p1)
+					}
+					if !ok2 {
+						p2 = roundHalfSlow(p2)
+					}
+					if !ok3 {
+						p3 = roundHalfSlow(p3)
+					}
+					s0, ok0 := roundFast(d0 + p0)
+					s1, ok1 := roundFast(d1 + p1)
+					s2, ok2 := roundFast(d2 + p2)
+					s3, ok3 := roundFast(d3 + p3)
+					if !ok0 {
+						s0 = roundHalfSlow(s0)
+					}
+					if !ok1 {
+						s1 = roundHalfSlow(s1)
+					}
+					if !ok2 {
+						s2 = roundHalfSlow(s2)
+					}
+					if !ok3 {
+						s3 = roundHalfSlow(s3)
+					}
+					d0, d1, d2, d3 = s0, s1, s2, s3
+				}
+			} else {
+				for l, bv := range bcol {
+					p0, ok0 := roundFast(a0[l] * bv)
+					p1, ok1 := roundFast(a1[l] * bv)
+					p2, ok2 := roundFast(a2[l] * bv)
+					p3, ok3 := roundFast(a3[l] * bv)
+					if !ok0 {
+						p0 = roundHalfSlow(p0)
+					}
+					if !ok1 {
+						p1 = roundHalfSlow(p1)
+					}
+					if !ok2 {
+						p2 = roundHalfSlow(p2)
+					}
+					if !ok3 {
+						p3 = roundHalfSlow(p3)
+					}
+					d0 += p0
+					d1 += p1
+					d2 += p2
+					d3 += p3
+				}
+			}
+			ccol[i+0] = alpha * d0
+			ccol[i+1] = alpha * d1
+			ccol[i+2] = alpha * d2
+			ccol[i+3] = alpha * d3
+		}
+		for ; i < m; i++ {
+			var d float32
+			if mode == AccumFP16 {
+				d = dotFP16(aw[i*k:i*k+k], bcol)
+			} else {
+				d = dotProductsFP16(aw[i*k:i*k+k], bcol)
+			}
+			ccol[i] = alpha * d
+		}
+	}
 }
 
 // widenHalf stages h into dst as tight k-stride float32 columns:
@@ -200,13 +369,23 @@ func widenHalf(h *HalfMatrix, dst []float32) {
 	const wBlock = 32
 	Parallel((h.Cols+wBlock-1)/wBlock, func(b int) {
 		for j := b * wBlock; j < min((b+1)*wBlock, h.Cols); j++ {
-			src := h.Col(j)
-			out := dst[j*k : j*k+k]
-			for i, x := range src {
-				out[i] = x.Float32()
-			}
+			widenCol(dst[j*k:j*k+k], h.Col(j))
 		}
 	})
+}
+
+// widenCol widens one binary16 column into out. The F16C lane (VCVTPH2PS)
+// and the decode-table fallback produce identical bit patterns for every
+// input, NaN payloads included, so the choice is invisible to callers.
+func widenCol(out []float32, src half.Vector) {
+	if useF16C && len(src) >= 8 {
+		n8 := len(src) &^ 7
+		vcvtph2ps8(&out[0], &src[0], n8)
+		src, out = src[n8:], out[n8:]
+	}
+	for i, x := range src {
+		out[i] = x.Float32()
+	}
 }
 
 // dotFP16 computes a dot product with full binary16 semantics: each product
@@ -239,19 +418,38 @@ func dotProductsFP16(a, b []float32) float32 {
 	return acc
 }
 
-// roundHalf rounds a float32 through binary16 and back. It repeats
-// half.Round's fast normal-range bit trick locally so the compiler can
-// inline it into the GEMM inner loop (half.Round itself is over the inline
-// budget); TestRoundHalfMatchesHalfRound pins the two together.
+// roundHalf rounds a float32 through binary16 and back, bit-identical to
+// half.Round (TestRoundHalfMatchesHalfRound pins them together). It is the
+// convenience form for the scalar tails; the unrolled kernel uses
+// roundFast/roundHalfSlow directly so the bit trick inlines there — a
+// function that both computes the trick and calls the escape can never fit
+// the inline budget, which is why the pair exists.
 func roundHalf(f float32) float32 {
+	r, ok := roundFast(f)
+	if !ok {
+		return roundHalfSlow(f)
+	}
+	return r
+}
+
+// roundFast applies half.Round's normal-range RNE bit trick, including the
+// overflow-to-±Inf clamp. ok = false means f is outside the trick's domain
+// (binary16-subnormal magnitude, zero, Inf, or NaN) and the caller must
+// finish the job with roundHalfSlow. Kept escape-free and under the inline
+// budget on purpose — the GEMM inner loops rely on it inlining.
+func roundFast(f float32) (float32, bool) {
 	b := math.Float32bits(f)
-	exp := (b >> 23) & 0xFF
-	if exp-113 >= 142 { // subnormal, zero, Inf, or NaN: exact path
-		return half.Round(f)
+	if (b>>23)&0xFF-113 >= 142 {
+		return f, false
 	}
 	r := (b + 0xFFF + ((b >> 13) & 1)) &^ 0x1FFF
 	if r&0x7FFFFFFF >= 0x47800000 {
-		return math.Float32frombits(b&0x80000000 | 0x7F800000)
+		r = b&0x80000000 | 0x7F800000
 	}
-	return math.Float32frombits(r)
+	return math.Float32frombits(r), true
 }
+
+// roundHalfSlow handles the values roundFast rejects, exactly.
+//
+//go:noinline
+func roundHalfSlow(f float32) float32 { return half.Round(f) }

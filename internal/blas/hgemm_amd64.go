@@ -1,0 +1,42 @@
+//go:build amd64
+
+package blas
+
+import "texid/internal/half"
+
+// hkernOct16 computes 4 A-columns × 8 B-columns of raw AᵀB dot products
+// with full binary16 semantics (every product and every partial sum rounded
+// to binary16 via F16C converts). See hgemm_amd64.s.
+//
+// a points at the first of 4 contiguous k-stride A columns (a + r*k floats);
+// bo is the 8 B columns packed octet-interleaved, bo[l*8+c] = B[l, j0+c];
+// out receives the 32 accumulators, out[r*8+c] = dot(A col r, B col c).
+// alpha is applied by the caller.
+//
+//go:noescape
+func hkernOct16(a *float32, k int, bo *float32, out *float32)
+
+// hkernOct32 is hkernOct16 with float32 accumulation (products still
+// rounded to binary16), the AccumFP32 tensor-core mode.
+//
+//go:noescape
+func hkernOct32(a *float32, k int, bo *float32, out *float32)
+
+// vcvtph2ps8 widens n (a multiple of 8) binary16 values to float32 with
+// VCVTPH2PS, bit-identical to the decode table for every input including
+// NaN payloads.
+//
+//go:noescape
+func vcvtph2ps8(dst *float32, src *half.Float16, n int)
+
+// haveF16C reports whether the CPU supports the F16C half-precision
+// converts (CPUID.1:ECX bit 29). YMM state and the TEXID_NOASM escape are
+// already covered by useAVX2, which gates useF16C alongside this.
+func haveF16C() bool {
+	_, _, c1, _ := cpuidx(1, 0)
+	return c1&(1<<29) != 0
+}
+
+// useF16C gates the F16C HGemm kernels and the widen lane. It implies
+// useAVX2, so TEXID_NOASM=1 disables both GEMM asm paths together.
+var useF16C = useAVX2 && haveF16C()

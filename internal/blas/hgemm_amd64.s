@@ -1,0 +1,174 @@
+// AVX2/F16C micro-kernels for HGemmTN. See hgemm_amd64.go for the dispatch
+// logic and hgemm.go for the bitwise-determinism contract: every C element
+// is one sequential rounding chain over l = 0..k-1, identical to the
+// portable kernel — VCVTPS2PH with imm8=0 is round-to-nearest-even and
+// matches half.FromFloat32 bit-for-bit on every value these chains can
+// produce (no f32 denormal ever arises from products of binary16 values,
+// and both paths canonicalize NaNs to the same quiet patterns), while
+// VCVTPH2PS is the exact widening the decode table implements.
+
+#include "textflag.h"
+
+// func hkernOct16(a *float32, k int, bo *float32, out *float32)
+//
+// 4(i)×8(j) raw dot products with binary16 product AND accumulate rounding
+// (pre-Volta HGEMM). a: 4 contiguous k-stride columns, column r at a+r*k.
+// bo: octet-interleaved B block, bo[l*8+c]. out: out[r*8+c] = chain(r, c).
+// Four independent chains (Y0..Y3) are in flight per l step so the long
+// mul→cvt→cvt→add→cvt→cvt dependency chains overlap.
+TEXT ·hkernOct16(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ k+8(FP), CX
+	MOVQ bo+16(FP), BX
+	MOVQ out+24(FP), DI
+
+	// A-column pointers: SI=a0, R8=a1, R9=a2, R10=a3 (stride k floats).
+	LEAQ (SI)(CX*4), R8
+	LEAQ (SI)(CX*8), R9
+	LEAQ (R8)(CX*8), R10
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	TESTQ CX, CX
+	JE   done16
+
+loop16:
+	VMOVUPS (BX), Y4 // B[l, j0..j0+7]
+
+	VBROADCASTSS (SI), Y5
+	VMULPS  Y4, Y5, Y5
+	VCVTPS2PH $0, Y5, X5 // round product to binary16
+	VCVTPH2PS X5, Y5
+	VADDPS  Y5, Y0, Y0
+	VCVTPS2PH $0, Y0, X0 // round partial sum to binary16
+	VCVTPH2PS X0, Y0
+
+	VBROADCASTSS (R8), Y6
+	VMULPS  Y4, Y6, Y6
+	VCVTPS2PH $0, Y6, X6
+	VCVTPH2PS X6, Y6
+	VADDPS  Y6, Y1, Y1
+	VCVTPS2PH $0, Y1, X1
+	VCVTPH2PS X1, Y1
+
+	VBROADCASTSS (R9), Y7
+	VMULPS  Y4, Y7, Y7
+	VCVTPS2PH $0, Y7, X7
+	VCVTPH2PS X7, Y7
+	VADDPS  Y7, Y2, Y2
+	VCVTPS2PH $0, Y2, X2
+	VCVTPH2PS X2, Y2
+
+	VBROADCASTSS (R10), Y8
+	VMULPS  Y4, Y8, Y8
+	VCVTPS2PH $0, Y8, X8
+	VCVTPH2PS X8, Y8
+	VADDPS  Y8, Y3, Y3
+	VCVTPS2PH $0, Y3, X3
+	VCVTPH2PS X3, Y3
+
+	ADDQ $4, SI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $32, BX
+	DECQ CX
+	JNE  loop16
+
+done16:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func hkernOct32(a *float32, k int, bo *float32, out *float32)
+//
+// Same tile with float32 accumulation (products still rounded to binary16):
+// the Volta tensor-core AccumFP32 mode.
+TEXT ·hkernOct32(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ k+8(FP), CX
+	MOVQ bo+16(FP), BX
+	MOVQ out+24(FP), DI
+
+	LEAQ (SI)(CX*4), R8
+	LEAQ (SI)(CX*8), R9
+	LEAQ (R8)(CX*8), R10
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	TESTQ CX, CX
+	JE   done32
+
+loop32:
+	VMOVUPS (BX), Y4
+
+	VBROADCASTSS (SI), Y5
+	VMULPS  Y4, Y5, Y5
+	VCVTPS2PH $0, Y5, X5
+	VCVTPH2PS X5, Y5
+	VADDPS  Y5, Y0, Y0
+
+	VBROADCASTSS (R8), Y6
+	VMULPS  Y4, Y6, Y6
+	VCVTPS2PH $0, Y6, X6
+	VCVTPH2PS X6, Y6
+	VADDPS  Y6, Y1, Y1
+
+	VBROADCASTSS (R9), Y7
+	VMULPS  Y4, Y7, Y7
+	VCVTPS2PH $0, Y7, X7
+	VCVTPH2PS X7, Y7
+	VADDPS  Y7, Y2, Y2
+
+	VBROADCASTSS (R10), Y8
+	VMULPS  Y4, Y8, Y8
+	VCVTPS2PH $0, Y8, X8
+	VCVTPH2PS X8, Y8
+	VADDPS  Y8, Y3, Y3
+
+	ADDQ $4, SI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $32, BX
+	DECQ CX
+	JNE  loop32
+
+done32:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func vcvtph2ps8(dst *float32, src *half.Float16, n int)
+//
+// Widens n binary16 values (n a multiple of 8) to float32, 8 per step.
+TEXT ·vcvtph2ps8(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $3, CX
+	JE   wdone
+
+wloop:
+	VCVTPH2PS (SI), Y0
+	VMOVUPS Y0, (DI)
+	ADDQ $16, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNE  wloop
+
+wdone:
+	VZEROUPPER
+	RET

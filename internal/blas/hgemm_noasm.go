@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package blas
+
+import "texid/internal/half"
+
+// Non-amd64 builds always take the portable HGemm kernels in hgemm.go.
+const useF16C = false
+
+func hkernOct16(a *float32, k int, bo *float32, out *float32) {
+	panic("blas: asm kernel on non-amd64 build")
+}
+
+func hkernOct32(a *float32, k int, bo *float32, out *float32) {
+	panic("blas: asm kernel on non-amd64 build")
+}
+
+func vcvtph2ps8(dst *float32, src *half.Float16, n int) {
+	panic("blas: asm kernel on non-amd64 build")
+}

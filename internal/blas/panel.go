@@ -1,0 +1,82 @@
+package blas
+
+// Panel is an alloc-free cache of a widened binary16 operand: the tight
+// k-stride float32 staging (dst[j*k+i] = src[i,j]) that HGemmTN otherwise
+// rebuilds from scratch on every call. The engine keeps one Panel per
+// resident reference batch so steady-state searches stop re-widening the
+// same matrix thousands of times.
+//
+// A cached staging is valid only for the exact (matrix, generation, shape)
+// it was built from: For compares the source pointer, the content
+// generation stamped by HalfMatrix.Invalidate, and the dimensions, and
+// rebuilds into the same pooled buffer when any of them changed. The
+// generation check is what ties invalidation to the existing write paths —
+// HalfFromMatrixInto and ConcatHalfColumnsInto restamp the matrix, so a
+// batch rebuilt in place can never be served from a stale panel.
+//
+// Panel is not internally synchronized: it is owned by whoever owns the
+// source matrix and must be confined by the same lock that guards writes
+// to it (the engine's index RWMutex / exec mutex). The backing buffer
+// comes from the package scratch pool; call Release when the source
+// matrix is dropped so the floats return to the pool.
+//
+//texlint:guards Panel{buf,data,src,gen,rows,cols} owner-confined: guarded by the mutex that guards the source HalfMatrix (engine index RWMutex); For and Release must not race with each other or with writes to src
+type Panel struct {
+	buf  *[]float32 // pooled backing allocation (f32Pool)
+	data []float32  // buf sized to rows*cols
+	src  *HalfMatrix
+	gen  uint64
+	rows int
+	cols int
+}
+
+// For returns the widened k-stride staging of h, rebuilding it only when h
+// is not the matrix the panel was built from, h's content generation
+// changed, or its shape changed. The fast path is three compares and no
+// allocation.
+//
+//texlint:hotpath
+func (p *Panel) For(h *HalfMatrix) []float32 {
+	if p.src == h && p.gen == h.gen && p.rows == h.Rows && p.cols == h.Cols && p.buf != nil {
+		return p.data
+	}
+	p.Release()
+	p.buf, p.data = getF32(h.Rows * h.Cols)
+	widenHalf(h, p.data)
+	p.src, p.gen, p.rows, p.cols = h, h.gen, h.Rows, h.Cols
+	return p.data
+}
+
+// Valid reports whether the panel currently caches h's staging, without
+// building anything.
+func (p *Panel) Valid(h *HalfMatrix) bool {
+	return p.src == h && p.gen == h.gen && p.rows == h.Rows && p.cols == h.Cols && p.buf != nil
+}
+
+// Release returns the backing buffer to the scratch pool and resets the
+// panel to its zero state. Safe on an empty panel.
+func (p *Panel) Release() {
+	if p.buf != nil {
+		f32Pool.Put(p.buf)
+	}
+	*p = Panel{}
+}
+
+// HGemmTNPanel is HGemmTN with the left operand's widened staging served
+// from (and cached into) panel. A must be the matrix the caller keys the
+// panel to — typically the resident reference matrix — and the call must
+// hold whatever lock confines the panel (see Panel). B is staged into
+// pooled scratch per call as usual. Output bits are identical to HGemmTN.
+//
+//texlint:hotpath
+func HGemmTNPanel(alpha float32, panel *Panel, A, B *HalfMatrix, mode AccumMode, C *Matrix) {
+	m, n, k := hgemmShape(A, B, C)
+	if m == 0 || n == 0 {
+		return
+	}
+	aw := panel.For(A)
+	pb, bw := getF32(n * k)
+	defer f32Pool.Put(pb)
+	widenHalf(B, bw)
+	hgemmCore(alpha, aw, bw, m, n, k, mode, C)
+}

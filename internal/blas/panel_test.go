@@ -1,0 +1,136 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"texid/internal/half"
+)
+
+// TestHGemmTNPanelMatchesHGemmTN pins the panel-served path bit-for-bit to
+// the per-call staging path, for both modes, with the panel both cold and
+// warm.
+func TestHGemmTNPanelMatchesHGemmTN(t *testing.T) {
+	const m, n, k = 13, 11, 96
+	rng := rand.New(rand.NewSource(42))
+	A := NewHalfMatrix(k, m)
+	B := NewHalfMatrix(k, n)
+	fillHalfStress(A, rng)
+	fillHalfStress(B, rng)
+	var p Panel
+	defer p.Release()
+	for _, mode := range []AccumMode{AccumFP16, AccumFP32} {
+		want := NewMatrix(m, n)
+		HGemmTN(-2, A, B, mode, want)
+		for pass := 0; pass < 2; pass++ { // cold then warm panel
+			got := NewMatrix(m, n)
+			HGemmTNPanel(-2, &p, A, B, mode, got)
+			if i, j, ok := sameBits(got, want); !ok {
+				t.Fatalf("mode=%v pass=%d: C[%d,%d] = %x, want %x", mode, pass, i, j,
+					math.Float32bits(got.Col(j)[i]), math.Float32bits(want.Col(j)[i]))
+			}
+		}
+		if !p.Valid(A) {
+			t.Fatalf("mode=%v: panel not cached after use", mode)
+		}
+	}
+}
+
+// TestPanelCachesAndInvalidates verifies the (pointer, generation, shape)
+// key: the staging is reused while the source is untouched, and rebuilt
+// after every content-changing path — HalfFromMatrixInto, concat, an
+// explicit Invalidate after direct Data writes, and a different matrix.
+func TestPanelCachesAndInvalidates(t *testing.T) {
+	src := FromColumns(4, [][]float32{{1, 2, 3, 4}, {5, 6, 7, 8}})
+	h, _ := HalfFromMatrix(src, 1)
+	var p Panel
+	defer p.Release()
+
+	aw := p.For(h)
+	if !p.Valid(h) {
+		t.Fatal("panel invalid immediately after For")
+	}
+	aw2 := p.For(h)
+	if &aw[0] != &aw2[0] {
+		t.Fatal("warm For rebuilt the staging")
+	}
+
+	// Rebuild in place through the sanctioned converter: same pointer,
+	// new generation, new contents.
+	src.Col(0)[0] = 9
+	HalfFromMatrixInto(src, 1, h)
+	if p.Valid(h) {
+		t.Fatal("panel still valid after HalfFromMatrixInto restamped the source")
+	}
+	if got := p.For(h)[0]; got != 9 {
+		t.Fatalf("stale staging after in-place rebuild: got %g, want 9", got)
+	}
+
+	// Direct Data mutation requires an explicit Invalidate.
+	h.Data[0] = half.FromFloat32(11)
+	if !p.Valid(h) {
+		t.Fatal("direct Data writes are invisible by design; Valid should still be true")
+	}
+	h.Invalidate()
+	if p.Valid(h) {
+		t.Fatal("panel still valid after Invalidate")
+	}
+	if got := p.For(h)[0]; got != 11 {
+		t.Fatalf("stale staging after Invalidate: got %g, want 11", got)
+	}
+
+	// A different matrix (even with identical contents) misses on pointer.
+	h2, _ := HalfFromMatrix(src, 1)
+	p.For(h2)
+	if p.Valid(h) || !p.Valid(h2) {
+		t.Fatal("panel key did not move to the new matrix")
+	}
+
+	// Concat restamps its destination.
+	ConcatHalfColumnsInto(h2, h2.Slice(0, 1), h2.Slice(1, 2))
+	if p.Valid(h2) {
+		t.Fatal("panel still valid after ConcatHalfColumnsInto restamped the source")
+	}
+
+	p.Release()
+	if p.Valid(h2) {
+		t.Fatal("panel valid after Release")
+	}
+}
+
+// TestPanelSliceSharesGeneration: a Slice view shares its parent's stamp,
+// so a panel keyed to the view is invalidated by the same writes that
+// invalidate the parent.
+func TestPanelSliceSharesGeneration(t *testing.T) {
+	src := FromColumns(3, [][]float32{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	h, _ := HalfFromMatrix(src, 1)
+	view := h.Slice(1, 3)
+	var p Panel
+	defer p.Release()
+	p.For(view)
+	if !p.Valid(view) {
+		t.Fatal("panel invalid after For on slice view")
+	}
+	HalfFromMatrixInto(src, 2, h)
+	view2 := h.Slice(1, 3)
+	if p.Valid(view2) {
+		t.Fatal("restamping the parent did not invalidate a panel keyed to a fresh view")
+	}
+}
+
+// TestPanelWarmPathDoesNotWiden: the warm For is three compares — no
+// widening, no pool traffic, no allocation.
+func TestPanelWarmPathDoesNotWiden(t *testing.T) {
+	h := NewHalfMatrix(64, 8)
+	for i := range h.Data {
+		h.Data[i] = half.FromFloat32(float32(i % 50))
+	}
+	h.Invalidate()
+	var p Panel
+	defer p.Release()
+	p.For(h)
+	if allocs := testing.AllocsPerRun(100, func() { p.For(h) }); allocs != 0 {
+		t.Fatalf("warm Panel.For allocates %v times per call", allocs)
+	}
+}

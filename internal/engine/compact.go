@@ -65,13 +65,16 @@ func (e *Engine) Compact() (reclaimed int, err error) {
 		return 0, nil
 	}
 
-	// Drop every old batch, then rebuild.
+	// Drop every old batch, then rebuild. These batches leave the index for
+	// good, so their cached widened-operand panels go back to the scratch
+	// pool (demotion, by contrast, keeps the panel with the host copy).
 	for _, it := range items {
 		sb := it.Payload.(*sealedBatch)
 		if sb.resident {
 			sb.rb.Free()
 			sb.resident = false
 		}
+		sb.rb.ReleasePanel()
 		e.hybrid.Remove(it.ID)
 	}
 

@@ -324,6 +324,7 @@ func (e *Engine) commitBatchLocked(rb *knn.RefBatch) error {
 	sb := &sealedBatch{rb: rb, resident: true}
 	if _, err := e.hybrid.Add(e.nextBatchID, rb.Bytes(), sb); err != nil {
 		rb.Free()
+		rb.ReleasePanel()
 		for _, uid := range rb.IDs {
 			if public, ok := e.uidToPublic[uid]; ok {
 				delete(e.refs, public)

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"texid/internal/blas"
+	"texid/internal/gpusim"
+)
+
+// fp16TestConfig is testConfig in FP16 with FP16 accumulation — the
+// configuration that exercises the cached widened-operand panels on the
+// reference batches.
+func fp16TestConfig() Config {
+	cfg := testConfig()
+	cfg.Precision = gpusim.FP16
+	cfg.Accum = blas.AccumFP16
+	return cfg
+}
+
+// TestSearchFP16PanelStability: repeated identical FP16 searches — the
+// first on cold panels, the rest served from warm ones — must return
+// identical rankings, and the panels must stay pinned to the resident
+// batches rather than being rebuilt per search.
+func TestSearchFP16PanelStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	e, err := New(fp16TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*blas.Matrix, 9) // two full batches + one pending ref
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		if err := e.Add(i, refs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := queryFor(rng, refs[4], 32, 0.02)
+	first, err := e.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.BestID != 4 || !first.Accepted {
+		t.Fatalf("FP16 search missed the enrolled reference: %+v", first)
+	}
+	for pass := 0; pass < 3; pass++ {
+		rep, err := e.Search(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Ranked) != len(first.Ranked) {
+			t.Fatalf("pass %d: ranked %d candidates, first search %d", pass, len(rep.Ranked), len(first.Ranked))
+		}
+		for i := range rep.Ranked {
+			if rep.Ranked[i] != first.Ranked[i] {
+				t.Fatalf("pass %d: ranking diverged at %d: %+v vs %+v — warm panel served different bits",
+					pass, i, rep.Ranked[i], first.Ranked[i])
+			}
+		}
+	}
+}
+
+// TestSearchFP16AfterUpdateAndCompact drives the index write paths that
+// must invalidate or release cached panels: Update rebuilds a batch in
+// place (stale panel floats would keep matching the old features), and
+// Remove+Compact drops batches entirely and re-enrolls the survivors into
+// new ones.
+func TestSearchFP16AfterUpdateAndCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	e, err := New(fp16TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*blas.Matrix, 8)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		if err := e.Add(i, refs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm every panel.
+	if _, err := e.Search(queryFor(rng, refs[2], 32, 0.02), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Update: the batch is rebuilt through HalfFromMatrixInto/concat, which
+	// restamps the matrix generation; a search must see the new features.
+	newRef := unitFeatures(rng, 16, 24)
+	if err := e.Update(2, newRef, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Search(queryFor(rng, refs[2], 32, 0.02), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted && rep.BestID == 2 {
+		t.Fatal("stale panel: old features still matched after Update")
+	}
+	rep, err = e.Search(queryFor(rng, newRef, 32, 0.02), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestID != 2 || !rep.Accepted {
+		t.Fatalf("updated features not found under FP16 panels: %+v", rep)
+	}
+
+	// Remove + Compact: dropped batches release their panels; the
+	// re-enrolled survivors get fresh ones and must still match — with the
+	// same per-reference scores as before compaction, since each
+	// reference's rounding chains are independent of batch grouping.
+	q5 := queryFor(rng, refs[5], 32, 0.02)
+	before, err := e.Search(q5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[int]int{}
+	for _, r := range before.Ranked {
+		scores[r.RefID] = r.Score
+	}
+	if !e.Remove(0) {
+		t.Fatal("Remove(0) failed")
+	}
+	if _, err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Search(q5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.BestID != 5 || !after.Accepted {
+		t.Fatalf("reference lost after FP16 compaction: %+v", after)
+	}
+	if len(after.Ranked) != len(before.Ranked)-1 {
+		t.Fatalf("compacted index ranks %d candidates, want %d", len(after.Ranked), len(before.Ranked)-1)
+	}
+	for _, r := range after.Ranked {
+		if want, ok := scores[r.RefID]; !ok || want != r.Score {
+			t.Fatalf("score for ref %d changed across compaction: got %d, want %d (stale or missing panel)",
+				r.RefID, r.Score, scores[r.RefID])
+		}
+	}
+}

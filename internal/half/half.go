@@ -44,7 +44,37 @@ func (f Float16) Bits() uint16 { return uint16(f) }
 // FromFloat32 converts a float32 to binary16 with round-to-nearest-even,
 // the rounding mode used by CUDA's __float2half_rn and by cuBLAS HGEMM.
 // Values whose magnitude exceeds 65504 after rounding become ±Inf.
+//
+// The conversion is table-driven (see table.go): the 9-bit sign+exponent
+// field indexes base/shift tables and the RNE increment is a branch-free
+// carry, so the only branch left is the Inf/NaN escape.
+// TestEncodeAgainstScalar pins it bit-for-bit to fromFloat32Scalar.
 func FromFloat32(f float32) Float16 {
+	b := math.Float32bits(f)
+	if b&0x7F800000 == 0x7F800000 { // Inf or NaN
+		sign := uint16(b>>16) & 0x8000
+		if b&0x7FFFFF != 0 {
+			// NaN: keep a quiet NaN with some payload.
+			return Float16(sign | 0x7E00)
+		}
+		return Float16(sign | 0x7C00)
+	}
+	i := b >> 23 // 9 bits: sign + biased float32 exponent
+	sig := b&0x7FFFFF | 0x800000
+	shift := encShift[i]
+	h := encBase[i] + uint16(sig>>shift)
+	// Branch-free round-to-nearest-even: the discarded bits plus the
+	// result's own parity carry a 1 out of bit shift-1 exactly when RNE
+	// rounds up (rem > half, or rem == half with an odd significand).
+	rem := sig & (uint32(1)<<shift - 1)
+	h += uint16((rem + uint32(1)<<(shift-1) - 1 + uint32(h&1)) >> shift)
+	return Float16(h)
+}
+
+// fromFloat32Scalar is the branchy reference conversion the encode tables
+// are verified against (exhaustively, in table_test.go). It is kept
+// bit-for-bit as originally shipped; do not "optimize" it.
+func fromFloat32Scalar(f float32) Float16 {
 	b := math.Float32bits(f)
 	sign := uint16(b>>16) & 0x8000
 	exp := int32(b>>23) & 0xFF
@@ -110,8 +140,14 @@ func FromFloat32(f float32) Float16 {
 }
 
 // Float32 converts a binary16 value to float32 exactly (the conversion is
-// always lossless in this direction).
-func (h Float16) Float32() float32 {
+// always lossless in this direction). It is a single load from the 65,536
+// entry decode table (table.go), built at init from float32Scalar and
+// pinned to it exhaustively by TestDecodeTableExhaustive.
+func (h Float16) Float32() float32 { return decTable[h] }
+
+// float32Scalar is the branchy reference decode used to build the table
+// and to verify it. Kept bit-for-bit as originally shipped.
+func float32Scalar(h Float16) float32 {
 	sign := uint32(h&0x8000) << 16
 	exp := uint32(h>>10) & 0x1F
 	frac := uint32(h & 0x3FF)

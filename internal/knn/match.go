@@ -93,7 +93,7 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, sc *S
 			return
 		}
 		if prec == gpusim.FP16 {
-			blas.HGemmTN(-2, rb.F16, q.F16, opts.Accum, C)
+			blas.HGemmTNPanel(-2, rb.Panel(), rb.F16, q.F16, opts.Accum, C)
 			// Undo the feature scale: A holds -2·s²·RᵀQ.
 			inv := 1 / (rb.Scale * q.Scale)
 			for i := range C.Data {
@@ -165,7 +165,7 @@ func matchRootSIFT(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, 
 			return
 		}
 		if prec == gpusim.FP16 {
-			blas.HGemmTN(-2, rb.F16, q.F16, opts.Accum, C)
+			blas.HGemmTNPanel(-2, rb.Panel(), rb.F16, q.F16, opts.Accum, C)
 			inv := 1 / (rb.Scale * q.Scale)
 			for i := range C.Data {
 				C.Data[i] *= inv

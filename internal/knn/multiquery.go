@@ -118,7 +118,7 @@ func MatchMultiQueryInto(stream *gpusim.Stream, rb *RefBatch, mq *MultiQuery, op
 			return
 		}
 		if prec == gpusim.FP16 {
-			blas.HGemmTN(-2, rb.F16, mq.catF16, opts.Accum, C)
+			blas.HGemmTNPanel(-2, rb.Panel(), rb.F16, mq.catF16, opts.Accum, C)
 			inv := 1 / (rb.Scale * mq.queries[0].Scale)
 			for i := range C.Data {
 				C.Data[i] *= inv

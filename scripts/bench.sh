@@ -3,7 +3,8 @@
 #
 #   1. Wall-clock host suite (cmd/texbench -wallclock): fails if any op's
 #      ns/op regressed more than 20% against the committed BENCH_HOST.json
-#      baseline. Machine-dependent.
+#      baseline, or if an FP16 fast-path op exceeds its absolute ns/op
+#      ceiling (see MAX_NS below). Machine-dependent.
 #   2. Serving suite (cmd/texbench -serving): deterministic simulated QPS
 #      of the micro-batching admission layer vs the serialized path. Fails
 #      on lost result identity, a sub-3x speedup at concurrency 16, or a
@@ -27,9 +28,20 @@ cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-3}"
 
+# Absolute ns/op ceilings for the FP16 fast path — hard speedup floors, not
+# relative regression checks. hgemm_tn_256x256x128 measured 55,099,813 ns/op
+# before the table-driven conversion + F16C fused-rounding kernels; the
+# ceiling pins a >=10x speedup. engine_search_steady_fp16 gets an absolute
+# 200 ms budget (was ~1.71 s). Enforced in both the gated and the UPDATE=1
+# flows so a re-baseline can never quietly absorb losing the fast path.
+MAX_NS=(
+  -max-ns hgemm_tn_256x256x128=5509981
+  -max-ns engine_search_steady_fp16=200000000
+)
+
 if [[ "${UPDATE:-0}" == 1 ]]; then
   echo "==> texbench -wallclock (writing BENCH_HOST.json)"
-  go run ./cmd/texbench -wallclock -count "$COUNT" -out BENCH_HOST.json
+  go run ./cmd/texbench -wallclock -count "$COUNT" "${MAX_NS[@]}" -out BENCH_HOST.json
   echo "==> texbench -serving (writing BENCH_SERVE.json)"
   go run ./cmd/texbench -serving -out BENCH_SERVE.json
   echo "OK"
@@ -72,7 +84,7 @@ if ! go run ./cmd/texbench -serving -validate-baseline -baseline BENCH_SERVE.jso
 fi
 
 echo "==> texbench -wallclock (vs committed BENCH_HOST.json)"
-go run ./cmd/texbench -wallclock -count "$COUNT" -baseline BENCH_HOST.json
+go run ./cmd/texbench -wallclock -count "$COUNT" "${MAX_NS[@]}" -baseline BENCH_HOST.json
 echo "==> texbench -serving (vs committed BENCH_SERVE.json)"
 go run ./cmd/texbench -serving -baseline BENCH_SERVE.json
 echo "OK"
