@@ -47,6 +47,14 @@
 //	goleak       goroutines spawned from non-test code need a provable
 //	             exit path: a close()d channel range, a done/context
 //	             select arm, or a bounded body
+//	wiretaint    lengths originating at untrusted sources (net.Conn,
+//	             *http.Request, //texlint:untrusted parameters) must pass
+//	             a bound check or internal/limits helper before sizing
+//	             memory (flow-aware: findings carry source→sink chains)
+//	maporder     call closures rooted at wire encoders, metrics
+//	             exposition, and //texlint:deterministic functions must
+//	             sort map iterations that build output and avoid
+//	             multi-way selects
 //	directive    texlint comment hygiene: bare ignores (no reason),
 //	             unknown check names, malformed annotations
 //
@@ -201,13 +209,16 @@ func selectAnalyzers(list string) ([]*analysis.Analyzer, error) {
 	return out, nil
 }
 
-// jsonDiag is the -json wire form of one finding.
+// jsonDiag is the -json wire form of one finding. Chain is present only for
+// flow-aware findings and names the call path from the root to the reported
+// function ("root -> ... -> fn").
 type jsonDiag struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
 	Check   string `json:"check"`
 	Message string `json:"message"`
+	Chain   string `json:"chain,omitempty"`
 }
 
 func emitJSON(diags []analysis.Diagnostic, stale []string, baselinePath string) {
@@ -215,7 +226,7 @@ func emitJSON(diags []analysis.Diagnostic, stale []string, baselinePath string) 
 	for _, d := range diags {
 		out = append(out, jsonDiag{
 			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
-			Check: d.Check, Message: d.Message,
+			Check: d.Check, Message: d.Message, Chain: d.Chain,
 		})
 	}
 	for _, s := range stale {

@@ -21,13 +21,16 @@
 // declaration. The reason is mandatory: a bare ignore, or one naming an
 // unknown check, is itself reported under the "directive" check.
 //
-// Flow-aware checks (hotalloc, clockdomain, aliasret, atomicmix) follow
-// call chains across packages; they are driven by function annotations:
+// Flow-aware checks (hotalloc, clockdomain, aliasret, atomicmix, wiretaint,
+// maporder) follow call chains across packages; they are driven by function
+// annotations:
 //
 //	//texlint:hotpath               — this function and all callees must not allocate
 //	//texlint:coldpath <reason>     — hot-path traversal stops here (reason required)
 //	//texlint:scratchalias          — results alias a reusable scratch; callers are checked
 //	//texlint:clockdomain           — extra root for the wall-clock reachability check
+//	//texlint:untrusted             — parameters carry attacker-controlled data (wiretaint source)
+//	//texlint:deterministic         — output must not depend on map/select ordering (maporder root)
 package analysis
 
 import (
@@ -43,6 +46,12 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Chain, when set, is the call path a flow-aware check followed from
+	// its root to the reported function ("root -> ... -> fn"). It is also
+	// rendered into Message; the separate field exists for -json consumers.
+	// Kept a plain string so Diagnostic stays comparable (sortDiags dedups
+	// with ==).
+	Chain string
 }
 
 func (d Diagnostic) String() string {

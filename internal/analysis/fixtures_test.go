@@ -87,6 +87,18 @@ func TestGoLeakFixture(t *testing.T) {
 	}
 }
 
+func TestWireTaintFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewWireTaint(), "wiretaint") {
+		t.Error(err)
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	for _, err := range CheckFixture(NewMapOrder(), "maporder") {
+		t.Error(err)
+	}
+}
+
 // TestDefaultAnalyzersScope pins the production scoping: the determinism
 // check applies to the simulator packages and not to e.g. cmd/ tools,
 // while fp16 skips internal/half itself. The flow-aware and
@@ -97,11 +109,11 @@ func TestDefaultAnalyzersScope(t *testing.T) {
 	for _, a := range DefaultAnalyzers() {
 		byName[a.Name] = a
 	}
-	if len(byName) != 13 {
-		t.Fatalf("expected 13 analyzers, got %d", len(byName))
+	if len(byName) != 15 {
+		t.Fatalf("expected 15 analyzers, got %d", len(byName))
 	}
 	for _, name := range []string{"hotalloc", "clockdomain", "aliasret", "atomicmix",
-		"lockorder", "guardedby", "poollife", "goleak"} {
+		"lockorder", "guardedby", "poollife", "goleak", "wiretaint", "maporder"} {
 		a := byName[name]
 		if a == nil {
 			t.Fatalf("missing analyzer %q", name)

@@ -67,9 +67,10 @@ func runFP16(pass *Pass) []Diagnostic {
 // numeric hot path (timing results must be reproducible), the syntactic
 // checks cover all non-test code, the flow-aware checks (hotalloc,
 // clockdomain, aliasret, atomicmix) run whole-program with clockdomain
-// rooted at the simulator, and the concurrency-contract checks
-// (lockorder, guardedby, poollife, goleak) run over the module-local
-// lock-acquisition graph.
+// rooted at the simulator, the concurrency-contract checks (lockorder,
+// guardedby, poollife, goleak) run over the module-local lock-acquisition
+// graph, and the value-flow checks (wiretaint, maporder) run whole-program
+// over untrusted-input and deterministic-output closures.
 func DefaultAnalyzers() []*Analyzer {
 	simScope := ScopedTo(
 		"internal/gpusim", "internal/engine", "internal/blas",
@@ -89,6 +90,8 @@ func DefaultAnalyzers() []*Analyzer {
 		NewGuardedBy(),
 		NewPoolLife(),
 		NewGoLeak(),
+		NewWireTaint(),
+		NewMapOrder(),
 	}
 }
 

@@ -79,26 +79,33 @@ func runHotAlloc(prog *Program) []Diagnostic {
 	var out []Diagnostic
 	for _, fn := range order {
 		fi := prog.Funcs[fn]
-		suffix := chainSuffix(prog, fn, parent, rootOf)
+		chain := chainPath(fn, parent)
+		suffix := ""
+		if chain != "" {
+			suffix = fmt.Sprintf(" (hot path: %s)", chain)
+		}
 		scanAllocs(fi.Pkg, fi.Decl, prog.InModule, func(pos token.Pos, msg string) {
 			out = append(out, Diagnostic{
 				Pos:     prog.Fset.Position(pos),
 				Check:   "hotalloc",
 				Message: msg + suffix,
+				Chain:   chain,
 			})
 		})
 	}
 	return out
 }
 
-// chainSuffix renders " (hot path: root -> ... -> fn)" for non-root
-// functions, and "" for roots (whose annotation is on the line above).
-func chainSuffix(prog *Program, fn *types.Func, parent, rootOf map[*types.Func]*types.Func) string {
+// chainPath renders "root -> ... -> fn" along the recorded traversal
+// parents, or "" for roots (whose annotation is on the line above).
+func chainPath(fn *types.Func, parent map[*types.Func]*types.Func) string {
 	if parent[fn] == nil {
 		return ""
 	}
 	var chain []string
-	for f := fn; f != nil; f = parent[f] {
+	seen := make(map[*types.Func]bool)
+	for f := fn; f != nil && !seen[f]; f = parent[f] {
+		seen[f] = true
 		chain = append(chain, funcDisplayName(f))
 	}
 	// Reverse: root first.
@@ -109,7 +116,7 @@ func chainSuffix(prog *Program, fn *types.Func, parent, rootOf map[*types.Func]*
 	for _, c := range chain[1:] {
 		s += " -> " + c
 	}
-	return fmt.Sprintf(" (hot path: %s)", s)
+	return s
 }
 
 // funcDisplayName renders pkg.Func or pkg.(Recv).Method.

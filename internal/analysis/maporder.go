@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// maporder: the byte-exact outputs the system promises — wire encodings,
+// /metrics and /v1/stats bodies, merged search reports — must not be shaped
+// by Go's randomized map iteration order or by which select case happened
+// to be ready first. Roots are the wire encoders, metrics exposition, and
+// every function annotated //texlint:deterministic; the check walks their
+// transitive module-local callees (like hotalloc walks hot paths) and flags
+// two constructs inside the closure:
+//
+//   - a range over a map that builds ordered output (append, prints,
+//     writer calls, string concatenation) with no subsequent sort in the
+//     same function — the collect-then-sort idiom is the fix;
+//   - a select with two or more communication cases, whose winner is
+//     chosen at random when several are ready.
+//
+// A //texlint:ignore maporder on a call line prunes traversal through that
+// edge (for paths whose ordering is reviewed as immaterial).
+
+// NewMapOrder returns the output-determinism check.
+func NewMapOrder() *Analyzer {
+	return &Analyzer{
+		Name:       "maporder",
+		Doc:        "deterministic-output call closures must sort map iterations and avoid multi-way selects",
+		RunProgram: runMapOrder,
+	}
+}
+
+// intrinsicDeterministicRoot reports whether fn promises deterministic
+// bytes by convention: wire encoders and the metrics text exposition.
+func intrinsicDeterministicRoot(fn *types.Func, fi *FuncInfo) bool {
+	if hasSuffixPath(fi.Pkg.Path, "internal/wire") && strings.HasPrefix(fn.Name(), "Encode") {
+		return true
+	}
+	return isMethodOf(fn, "internal/metrics", "Expose")
+}
+
+func runMapOrder(prog *Program) []Diagnostic {
+	var roots []*types.Func
+	for fn, fi := range prog.Funcs {
+		if fi.Ann.Deterministic || intrinsicDeterministicRoot(fn, fi) {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return prog.Fset.Position(roots[i].Pos()).Offset < prog.Fset.Position(roots[j].Pos()).Offset
+	})
+
+	// BFS over the module-local call graph, exactly like hotalloc: first
+	// parent wins, ignore directives on call lines prune edges.
+	parent := make(map[*types.Func]*types.Func)
+	var order []*types.Func
+	seen := make(map[*types.Func]bool)
+	for _, r := range roots {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		queue := []*types.Func{r}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			order = append(order, fn)
+			for _, site := range prog.Callees(fn) {
+				if seen[site.Callee] || prog.Funcs[site.Callee] == nil {
+					continue
+				}
+				if prog.Suppressed("maporder", site.Pos) {
+					continue // reviewed edge: ordering immaterial past here
+				}
+				seen[site.Callee] = true
+				parent[site.Callee] = fn
+				queue = append(queue, site.Callee)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, fn := range order {
+		fi := prog.Funcs[fn]
+		pass := &Pass{Fset: prog.Fset, Files: fi.Pkg.Files, Pkg: fi.Pkg.Info, PkgPath: fi.Pkg.Path}
+		chain := chainPath(fn, parent)
+		suffix := ""
+		if chain != "" {
+			suffix = fmt.Sprintf(" (deterministic path: %s)", chain)
+		}
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.Pkg.Info.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if !buildsOrderedOutput(pass, n.Body) || sortedAfter(pass, fi.Decl, n.End()) {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:     prog.Fset.Position(n.Pos()),
+					Check:   "maporder",
+					Message: "map iteration order is random but this loop feeds deterministic output; collect the keys and sort first" + suffix,
+					Chain:   chain,
+				})
+			case *ast.SelectStmt:
+				comms := 0
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						comms++
+					}
+				}
+				if comms >= 2 {
+					out = append(out, Diagnostic{
+						Pos:     prog.Fset.Position(n.Pos()),
+						Check:   "maporder",
+						Message: "select picks a random ready case; deterministic output must not depend on channel arrival order" + suffix,
+						Chain:   chain,
+					})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -41,6 +41,14 @@ type FuncAnn struct {
 	// passed to this function return to a freelist, and the caller must
 	// not touch them afterwards (poollife enforces the callers).
 	Freelist bool
+	// Untrusted marks a //texlint:untrusted seam: every parameter (and the
+	// receiver) carries attacker-controlled data, and wiretaint taints them
+	// as sources.
+	Untrusted bool
+	// Deterministic marks a //texlint:deterministic root: output produced
+	// by this function and everything it transitively calls must not depend
+	// on map iteration or select ordering (maporder enforces the closure).
+	Deterministic bool
 }
 
 // FuncInfo is one function declaration in the program.
@@ -159,12 +167,14 @@ func (p *Program) Callees(fn *types.Func) []CallSite {
 
 // Annotation directives recognized on function doc comments.
 const (
-	hotpathPrefix      = "//texlint:hotpath"
-	coldpathPrefix     = "//texlint:coldpath"
-	scratchaliasPrefix = "//texlint:scratchalias"
-	clockdomainPrefix  = "//texlint:clockdomain"
-	freelistPrefix     = "//texlint:freelist"
-	guardsPrefix       = "//texlint:guards"
+	hotpathPrefix       = "//texlint:hotpath"
+	coldpathPrefix      = "//texlint:coldpath"
+	scratchaliasPrefix  = "//texlint:scratchalias"
+	clockdomainPrefix   = "//texlint:clockdomain"
+	freelistPrefix      = "//texlint:freelist"
+	guardsPrefix        = "//texlint:guards"
+	untrustedPrefix     = "//texlint:untrusted"
+	deterministicPrefix = "//texlint:deterministic"
 )
 
 // parseFuncAnn extracts texlint annotations from a doc comment group.
@@ -186,6 +196,10 @@ func parseFuncAnn(doc *ast.CommentGroup) FuncAnn {
 			ann.ClockRoot = true
 		case directiveIs(c.Text, freelistPrefix):
 			ann.Freelist = true
+		case directiveIs(c.Text, untrustedPrefix):
+			ann.Untrusted = true
+		case directiveIs(c.Text, deterministicPrefix):
+			ann.Deterministic = true
 		}
 	}
 	return ann
@@ -213,6 +227,30 @@ func (p *Program) directiveDiags(knownChecks map[string]bool) []Diagnostic {
 			Pos: p.Fset.Position(pos), Check: "directive",
 			Message: fmt.Sprintf(format, args...),
 		})
+	}
+	// Placement hygiene for the value-flow annotations: both only mean
+	// something in the doc comment of a function declaration, and
+	// //texlint:untrusted additionally needs inputs to taint (a receiver or
+	// at least one parameter).
+	funcDocPos := make(map[token.Pos]bool)
+	untrustedOKPos := make(map[token.Pos]bool)
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				hasInputs := fd.Recv != nil ||
+					(fd.Type.Params != nil && len(fd.Type.Params.List) > 0)
+				for _, c := range fd.Doc.List {
+					funcDocPos[c.Pos()] = true
+					if hasInputs {
+						untrustedOKPos[c.Pos()] = true
+					}
+				}
+			}
+		}
 	}
 	for _, pkg := range p.Pkgs {
 		for _, f := range pkg.Files {
@@ -247,6 +285,16 @@ func (p *Program) directiveDiags(knownChecks map[string]bool) []Diagnostic {
 						if strings.TrimSpace(strings.TrimPrefix(text, guardsPrefix)) == "" {
 							report(c.Pos(), "texlint:guards needs the name of the protecting mutex field: //texlint:guards <mutex>")
 						}
+					case directiveIs(text, untrustedPrefix):
+						if !funcDocPos[c.Pos()] {
+							report(c.Pos(), "texlint:untrusted must be in the doc comment of a function declaration")
+						} else if !untrustedOKPos[c.Pos()] {
+							report(c.Pos(), "texlint:untrusted marks inputs as hostile, but this function has no receiver or parameters")
+						}
+					case directiveIs(text, deterministicPrefix):
+						if !funcDocPos[c.Pos()] {
+							report(c.Pos(), "texlint:deterministic must be in the doc comment of a function declaration")
+						}
 					case directiveIs(text, hotpathPrefix),
 						directiveIs(text, scratchaliasPrefix),
 						directiveIs(text, clockdomainPrefix),
@@ -257,7 +305,7 @@ func (p *Program) directiveDiags(knownChecks map[string]bool) []Diagnostic {
 						if i := strings.IndexAny(name, " \t"); i >= 0 {
 							name = name[:i]
 						}
-						report(c.Pos(), "unknown texlint directive %q (known: ignore, hotpath, coldpath, scratchalias, clockdomain, freelist, guards)", name)
+						report(c.Pos(), "unknown texlint directive %q (known: ignore, hotpath, coldpath, scratchalias, clockdomain, freelist, guards, untrusted, deterministic)", name)
 					}
 				}
 			}

@@ -1,0 +1,77 @@
+package fixture
+
+import "net"
+
+// recvAlloc reads a length directly off the wire and trusts it. The
+// connection type itself is the taint source (no annotation needed).
+func recvAlloc(c net.Conn) []byte {
+	var hdr [2]byte
+	c.Read(hdr[:])
+	n := int(hdr[0])<<8 | int(hdr[1])
+	return make([]byte, n) // want "untrusted length flows into make"
+}
+
+// parseFrame decodes a length-prefixed frame from an untrusted buffer:
+// the annotation taints every parameter.
+//
+//texlint:untrusted
+func parseFrame(b []byte) []byte {
+	n := int(b[0])
+	allocate(n)
+	if len(b) > 1 {
+		_ = b[:n] // want "untrusted value used as a slice bound"
+	}
+	for i := 0; i < n; i++ { // want "untrusted value bounds this loop"
+		_ = i
+	}
+	return nil
+}
+
+// allocate is reached only through parseFrame's tainted argument; the
+// finding names the interprocedural chain.
+func allocate(n int) []byte {
+	return make([]byte, n) // want "untrusted length flows into make.*untrusted path: fixture.parseFrame -> fixture.allocate"
+}
+
+// pick indexes a table with a wire-supplied value.
+//
+//texlint:untrusted
+func pick(table []int, i int) int {
+	return table[i] // want "untrusted value used as a slice index"
+}
+
+type frameReader struct {
+	buf []byte
+	pos int
+}
+
+// next yields the next length byte from the wire buffer. Its own cursor is
+// guarded (the len comparison sanitizes r.pos), but the returned byte stays
+// tainted.
+//
+//texlint:untrusted
+func (r *frameReader) next() int {
+	if r.pos >= len(r.buf) {
+		return 0
+	}
+	v := int(r.buf[r.pos])
+	r.pos++
+	return v
+}
+
+// recvHeader never touches the wire itself; taint arrives upward through
+// next's result, and the chain records that edge.
+func recvHeader(r *frameReader) []int {
+	n := r.next()
+	return make([]int, n) // want "untrusted length flows into make.*untrusted path: fixture.frameReader.next -> fixture.recvHeader"
+}
+
+// badVarAnn: the annotation only means something on functions.
+//
+//texlint:untrusted // want "texlint:untrusted must be in the doc comment of a function declaration"
+var badVarAnn int
+
+// noInputs has nothing to taint.
+//
+//texlint:untrusted // want "texlint:untrusted marks inputs as hostile, but this function has no receiver or parameters"
+func noInputs() int { return 42 }

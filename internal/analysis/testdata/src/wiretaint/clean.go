@@ -1,0 +1,74 @@
+package fixture
+
+import (
+	"io"
+
+	"texid/internal/limits"
+)
+
+const maxClean = 1 << 12
+
+// boundedParse checks the wire-supplied count against a constant bound
+// before allocating: the comparison sanitizes the value.
+//
+//texlint:untrusted
+func boundedParse(b []byte) [][]byte {
+	n := int(b[0])
+	if n < 0 || n > maxClean {
+		return nil
+	}
+	return make([][]byte, n)
+}
+
+// clamped trusts the builtin min with a constant operand.
+//
+//texlint:untrusted
+func clamped(b []byte) []byte {
+	n := int(b[0])
+	return make([]byte, min(n, 64))
+}
+
+// viaLimits routes the hostile length through the canonical helpers: the
+// limits call both validates n and returns trusted bytes.
+//
+//texlint:untrusted
+func viaLimits(r io.Reader, n int) ([]byte, error) {
+	if err := limits.Check("payload", n, maxClean); err != nil {
+		return nil, err
+	}
+	return limits.ReadChunked(r, n, 0)
+}
+
+// lenChecked validates the claim against the payload actually present
+// before slicing — the truncation-check idiom.
+//
+//texlint:untrusted
+func lenChecked(b []byte, n int) []byte {
+	if n > len(b) {
+		return nil
+	}
+	return b[:n]
+}
+
+// committed sizes from data already in memory: len of a tainted slice is
+// trusted (only the wire's *claims* about length are hostile).
+//
+//texlint:untrusted
+func committed(payload []byte) []byte {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out
+}
+
+// edgeReviewed stops propagation at a reviewed call edge.
+//
+//texlint:untrusted
+func edgeReviewed(b []byte) []byte {
+	n := int(b[0])
+	return grow(n) //texlint:ignore wiretaint n is a cursor delta bounded by the framing layer above
+}
+
+// grow is only called through the reviewed edge: no taint arrives here.
+func grow(n int) []byte {
+	return make([]byte, n)
+}

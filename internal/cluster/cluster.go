@@ -327,6 +327,8 @@ type Report struct {
 // Summary converts the report to its stable wire form. The chaos suite
 // serializes summaries to assert byte-identical results across runs and
 // GOMAXPROCS settings.
+//
+//texlint:deterministic
 func (r *Report) Summary() *wire.SearchSummary {
 	s := &wire.SearchSummary{
 		BestID:         int64(r.BestID),
@@ -357,6 +359,8 @@ type shardResult struct {
 // fail after retries are routed around: the merged report covers the
 // survivors and is marked Partial. The search fails only when fewer than
 // MinShards shards answer.
+//
+//texlint:deterministic
 func (c *Cluster) Search(feats *blas.Matrix, kps []sift.Keypoint) (*Report, error) {
 	results := make([]shardResult, len(c.workers))
 	var wg sync.WaitGroup
@@ -439,6 +443,8 @@ func (c *Cluster) checkQuorum(answered int, firstErr error) error {
 // batch) and merges per-query results, degrading to partial results like
 // Search. All query matrices must have the engine's descriptor dimension;
 // shorter feature counts are padded by the engine.
+//
+//texlint:deterministic
 func (c *Cluster) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoint) ([]*Report, error) {
 	results := make([]shardResult, len(c.workers))
 	var wg sync.WaitGroup

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"texid/internal/gpusim"
+	"texid/internal/wire"
+)
+
+// get fetches one body from the test server.
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// TestMetricsAndStatsGolden pins the determinism contract maporder enforces
+// statically: /metrics and /v1/stats emission must not be shaped by map
+// iteration order. Two scrapes with no traffic in between are
+// byte-identical, and the exposition lists metric families in sorted order.
+func TestMetricsAndStatsGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := smallCluster(t, 2)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	api := NewClient(ts.URL)
+
+	for i := 1; i <= 3; i++ {
+		rec := &wire.FeatureRecord{ID: int64(i), Precision: gpusim.FP32, Scale: 1,
+			Features: unitFeatures(rng, 16, 24)}
+		if err := api.Add(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Search(queryFor(rng, unitFeatures(rng, 16, 24), 32), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scrape itself is an API request, so the request counter moves
+	// between scrapes by design; mask its sample line (determinism is
+	// about ordering and formatting, not monotone counters doing their
+	// job).
+	mask := func(body string) string {
+		lines := strings.Split(body, "\n")
+		for i, l := range lines {
+			if strings.HasPrefix(l, "texid_api_requests_total ") {
+				lines[i] = "texid_api_requests_total <masked>"
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	m1 := mask(get(t, ts.URL+"/metrics"))
+	m2 := mask(get(t, ts.URL+"/metrics"))
+	if m1 != m2 {
+		t.Fatalf("two /metrics scrapes differ:\n--- first\n%s\n--- second\n%s", m1, m2)
+	}
+
+	// Metric families must appear in sorted order: the registry iterates
+	// its name maps via collect-then-sort, never raw map order.
+	var families []string
+	for _, line := range strings.Split(m1, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 3 {
+			families = append(families, fields[2])
+		}
+	}
+	if len(families) == 0 {
+		t.Fatal("no metric families in /metrics output")
+	}
+	if !sort.StringsAreSorted(families) {
+		t.Fatalf("metric families not sorted: %v", families)
+	}
+
+	s1 := get(t, ts.URL+"/v1/stats")
+	s2 := get(t, ts.URL+"/v1/stats")
+	if s1 != s2 {
+		t.Fatalf("two /v1/stats reads differ:\n--- first\n%s\n--- second\n%s", s1, s2)
+	}
+}

@@ -4,8 +4,9 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"io"
 	"strconv"
+
+	"texid/internal/limits"
 )
 
 // RESP (REdis Serialization Protocol) framing: requests are arrays of bulk
@@ -19,6 +20,10 @@ const maxBulkLen = 512 << 20
 
 // readCommand parses one client command (an array of bulk strings).
 // It also accepts the inline format ("PING\r\n") for debugging with nc.
+// The reader is a network peer (or a possibly corrupt AOF): every count and
+// length parsed here is hostile until bounds-checked.
+//
+//texlint:untrusted
 func readCommand(r *bufio.Reader) ([][]byte, error) {
 	line, err := readLine(r)
 	if err != nil {
@@ -46,7 +51,7 @@ func readCommand(r *bufio.Reader) ([][]byte, error) {
 	}
 	// The element count is attacker-controlled: start small and let append
 	// grow the slice only as elements actually parse.
-	args := make([][]byte, 0, minInt(n, 64))
+	args := make([][]byte, 0, limits.Cap(n, 64))
 	for i := 0; i < n; i++ {
 		arg, err := readBulk(r)
 		if err != nil {
@@ -55,13 +60,6 @@ func readCommand(r *bufio.Reader) ([][]byte, error) {
 		args = append(args, arg)
 	}
 	return args, nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func splitInline(line []byte) [][]byte {
@@ -103,20 +101,13 @@ func readBulk(r *bufio.Reader) ([]byte, error) {
 
 // readBlob reads an n-byte payload plus its trailing CRLF. The length
 // prefix is attacker-controlled (up to maxBulkLen), so memory is committed
-// chunk by chunk, only as payload bytes actually arrive — a hostile
-// "$536870912\r\n" header costs the peer half a gigabyte of traffic, not us
-// half a gigabyte of RAM.
+// chunk by chunk via limits.ReadChunked, only as payload bytes actually
+// arrive — a hostile "$536870912\r\n" header costs the peer half a gigabyte
+// of traffic, not us half a gigabyte of RAM.
 func readBlob(r *bufio.Reader, n int) ([]byte, error) {
-	const chunk = 64 << 10
-	want := n + 2
-	buf := make([]byte, 0, minInt(want, chunk))
-	for len(buf) < want {
-		k := minInt(want-len(buf), chunk)
-		off := len(buf)
-		buf = append(buf, make([]byte, k)...)
-		if _, err := io.ReadFull(r, buf[off:]); err != nil {
-			return nil, err
-		}
+	buf, err := limits.ReadChunked(r, n+2, limits.DefaultChunk)
+	if err != nil {
+		return nil, err
 	}
 	if buf[n] != '\r' || buf[n+1] != '\n' {
 		return nil, errProtocol
@@ -168,6 +159,10 @@ type reply struct {
 // recursive parser into stack exhaustion.
 const maxReplyDepth = 32
 
+// readReply parses one server reply. The reader is a network peer: counts
+// and lengths are hostile until bounds-checked.
+//
+//texlint:untrusted
 func readReply(r *bufio.Reader) (reply, error) {
 	return readReplyDepth(r, 0)
 }
@@ -214,7 +209,7 @@ func readReplyDepth(r *bufio.Reader, depth int) (reply, error) {
 		}
 		// Like readCommand: grow with parsed elements, never with the
 		// untrusted header.
-		arr := make([]reply, 0, minInt(n, 64))
+		arr := make([]reply, 0, limits.Cap(n, 64))
 		for i := 0; i < n; i++ {
 			el, err := readReplyDepth(r, depth+1)
 			if err != nil {

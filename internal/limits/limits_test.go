@@ -1,0 +1,81 @@
+package limits
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCheck(t *testing.T) {
+	if err := Check("count", 10, 10); err != nil {
+		t.Errorf("Check at bound: %v", err)
+	}
+	if err := Check("count", 0, 10); err != nil {
+		t.Errorf("Check zero: %v", err)
+	}
+	if err := Check("count", 11, 10); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Check over bound: got %v, want ErrTooLarge", err)
+	}
+	if err := Check("count", -1, 10); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Check negative: got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestCap(t *testing.T) {
+	for _, tc := range []struct{ n, bound, want int }{
+		{5, 10, 5}, {10, 10, 10}, {11, 10, 10}, {-3, 10, 0}, {0, 10, 0},
+	} {
+		if got := Cap(tc.n, tc.bound); got != tc.want {
+			t.Errorf("Cap(%d, %d) = %d, want %d", tc.n, tc.bound, got, tc.want)
+		}
+	}
+}
+
+func TestReadChunkedExact(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 1000) // 8000 bytes
+	got, err := ReadChunked(bytes.NewReader(payload), len(payload), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("ReadChunked returned different bytes")
+	}
+	// Zero-length reads succeed with an empty buffer.
+	got, err = ReadChunked(bytes.NewReader(nil), 0, 1024)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ReadChunked(0) = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestReadChunkedTruncated(t *testing.T) {
+	_, err := ReadChunked(strings.NewReader("short"), 1<<20, 4096)
+	if err == nil {
+		t.Fatal("ReadChunked on truncated stream: want error")
+	}
+	if err := func() error { _, err := ReadChunked(nil, -1, 0); return err }(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("ReadChunked(-1): got %v, want ErrTooLarge", err)
+	}
+}
+
+// TestReadChunkedNoPreAllocation pins the property the fuzz seeds rely on:
+// a hostile length prefix must not commit memory ahead of delivered payload.
+// The stream truncates after a few bytes, so total allocation stays within a
+// few chunks no matter how large the claimed length is.
+func TestReadChunkedNoPreAllocation(t *testing.T) {
+	const hostile = 1 << 30
+	const chunk = 64 << 10
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := ReadChunked(io.LimitReader(strings.NewReader("tiny"), 4), hostile, chunk)
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("hostile-length read of truncated stream: want error")
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16*chunk {
+		t.Fatalf("ReadChunked committed %d bytes for a 4-byte stream claiming %d", grew, hostile)
+	}
+}

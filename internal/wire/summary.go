@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"texid/internal/limits"
 )
 
 // summaryMagic and summaryVersion guard SearchSummary decoding.
@@ -72,7 +74,8 @@ func EncodeSummary(s *SearchSummary) []byte {
 
 // varint reads a zigzag varint.
 func (r *reader) varint() int64 {
-	if r.err != nil {
+	if r.err != nil || r.pos >= len(r.b) {
+		r.err = ErrCorrupt
 		return 0
 	}
 	v, n := binary.Varint(r.b[r.pos:])
@@ -95,7 +98,10 @@ func (r *reader) u64() uint64 {
 	return v
 }
 
-// DecodeSummary parses bytes produced by EncodeSummary.
+// DecodeSummary parses bytes produced by EncodeSummary. The input is
+// foreign bytes; the ranked count is hostile until bounds-checked.
+//
+//texlint:untrusted
 func DecodeSummary(b []byte) (*SearchSummary, error) {
 	r := &reader{b: b}
 	if r.u32() != summaryMagic {
@@ -119,7 +125,7 @@ func DecodeSummary(b []byte) (*SearchSummary, error) {
 		return nil, r.err
 	}
 	const maxRanked = 1 << 20
-	if n < 0 || n > maxRanked || n*2 > len(b)-r.pos {
+	if limits.Check("ranked count", n, maxRanked) != nil || n*2 > len(b)-r.pos {
 		return nil, fmt.Errorf("%w: unreasonable ranked count %d", ErrCorrupt, n)
 	}
 	s.Ranked = make([]RankedMatch, n)

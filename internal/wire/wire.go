@@ -15,6 +15,7 @@ import (
 	"texid/internal/blas"
 	"texid/internal/gpusim"
 	"texid/internal/half"
+	"texid/internal/limits"
 	"texid/internal/sift"
 )
 
@@ -97,7 +98,8 @@ type reader struct {
 }
 
 func (r *reader) uvarint() uint64 {
-	if r.err != nil {
+	if r.err != nil || r.pos >= len(r.b) {
+		r.err = ErrCorrupt
 		return 0
 	}
 	v, n := binary.Uvarint(r.b[r.pos:])
@@ -144,7 +146,10 @@ func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
 // Decode parses a record encoded by Encode. FP16 records come back widened
 // to float32 with the storage scale divided back out, so Features is always
 // in original descriptor units (the FP16 quantization itself is of course
-// not undone).
+// not undone). The input is foreign bytes (kvstore values, HTTP bodies,
+// snapshot records): every dimension and count is hostile until checked.
+//
+//texlint:untrusted
 func Decode(b []byte) (*FeatureRecord, error) {
 	r := &reader{b: b}
 	if r.u32() != magic {
@@ -166,7 +171,9 @@ func Decode(b []byte) (*FeatureRecord, error) {
 		return nil, r.err
 	}
 	const maxDim = 1 << 24
-	if d < 0 || m < 0 || d > maxDim || m > maxDim || d*m > maxDim {
+	if limits.Check("descriptor dim", d, maxDim) != nil ||
+		limits.Check("descriptor count", m, maxDim) != nil ||
+		limits.Check("feature elements", d*m, maxDim) != nil {
 		return nil, fmt.Errorf("%w: unreasonable dimensions %dx%d", ErrCorrupt, d, m)
 	}
 	// Before allocating from an attacker-controlled header, confirm the
@@ -203,8 +210,8 @@ func Decode(b []byte) (*FeatureRecord, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	if nk < 0 || nk > maxDim {
-		return nil, fmt.Errorf("%w: unreasonable keypoint count %d", ErrCorrupt, nk)
+	if err := limits.Check("keypoint count", nk, maxDim); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if need := nk * 20; need > len(b)-r.pos {
 		return nil, fmt.Errorf("%w: truncated keypoint payload", ErrCorrupt)

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"texid/internal/blas"
+	"texid/internal/limits"
 	"texid/internal/sift"
 	"texid/internal/wire"
 )
@@ -21,13 +22,21 @@ import (
 const (
 	snapshotMagic   = 0x54584442 // "TXDB"
 	snapshotVersion = 1
+	// maxSnapshotRecord bounds one length-prefixed record (1 GB); larger
+	// prefixes are treated as corruption rather than allocation requests.
+	maxSnapshotRecord = 1 << 30
+	// snapshotChunk is the allocation granularity for record payloads.
+	snapshotChunk = 256 << 10
 )
 
 // ErrBadSnapshot is returned for malformed snapshot streams.
 var ErrBadSnapshot = errors.New("texid: bad snapshot")
 
 // Save writes the full reference index to w. Features are stored in the
-// system's configured precision (FP16 snapshots are half the size).
+// system's configured precision (FP16 snapshots are half the size): a
+// snapshot of the same index must be byte-identical run to run.
+//
+//texlint:deterministic
 func (s *System) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var hdr [5]byte
@@ -70,7 +79,10 @@ func (s *System) Save(w io.Writer) error {
 
 // Load replays a snapshot into the system, enrolling every record. It
 // returns the number of references restored. Records whose ids already
-// exist are rejected (load into a fresh system).
+// exist are rejected (load into a fresh system). The stream is a foreign
+// file: its length prefixes are hostile until bounds-checked.
+//
+//texlint:untrusted
 func (s *System) Load(r io.Reader) (int, error) {
 	br := bufio.NewReader(r)
 	var hdr [5]byte
@@ -93,20 +105,14 @@ func (s *System) Load(r io.Reader) (int, error) {
 		if l == 0 {
 			return n, nil // terminator
 		}
-		if l > 1<<30 {
-			return n, fmt.Errorf("%w: unreasonable record size %d", ErrBadSnapshot, l)
+		if err := limits.Check("record size", int(l), maxSnapshotRecord); err != nil {
+			return n, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
 		// The length prefix may be corrupt: commit memory chunk by chunk,
 		// only as the stream actually delivers payload.
-		const chunk = 256 << 10
-		buf := make([]byte, 0, min(int(l), chunk))
-		for len(buf) < int(l) {
-			k := min(int(l)-len(buf), chunk)
-			off := len(buf)
-			buf = append(buf, make([]byte, k)...)
-			if _, err := io.ReadFull(br, buf[off:]); err != nil {
-				return n, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
-			}
+		buf, err := limits.ReadChunked(br, int(l), snapshotChunk)
+		if err != nil {
+			return n, fmt.Errorf("%w: truncated record", ErrBadSnapshot)
 		}
 		rec, err := wire.Decode(buf)
 		if err != nil {
