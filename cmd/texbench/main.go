@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"texid/internal/bench"
+	"texid/internal/soak"
 )
 
 // maxNSFlag collects repeatable -max-ns op=ns pairs into absolute wall-clock
@@ -64,6 +65,18 @@ func main() {
 		"run the micro-batching serving benchmark: deterministic simulated QPS (batched vs serialized) at concurrency 1/4/16/64")
 	servingWall := flag.Bool("serving-wall", false,
 		"with -serving: also run the machine-dependent wall-clock load generators (closed and open loop)")
+	soakMode := flag.Bool("soak", false,
+		"run the sustained-load soak suite: open-loop wall scenarios, GC telemetry, deterministic sim-clock soak, allocation probes")
+	var so soakOpts
+	flag.Float64Var(&so.qps, "soak-qps", 150, "with -soak: offered arrival rate per wall scenario")
+	flag.DurationVar(&so.duration, "soak-duration", 4*time.Second, "with -soak: duration of each wall scenario")
+	flag.Float64Var(&so.mix, "soak-mix", 0.2, "with -soak: write (enrollment-churn) fraction for the churn scenario")
+	flag.IntVar(&so.shards, "soak-shards", 3, "with -soak: shard count (1 = in-process engine, >1 = in-process cluster)")
+	flag.StringVar(&so.arrival, "soak-arrival", "poisson", "with -soak: arrival process, poisson or uniform")
+	flag.StringVar(&so.addr, "soak-addr", "", "with -soak: drive a live texsearchd at this base URL instead of an in-process target")
+	flag.BoolVar(&so.sweep, "soak-sweep", false, "with -soak: also sweep GOGC {50,100,400} and GOMEMLIMIT 256MiB on the steady scenario")
+	flag.BoolVar(&so.smoke, "soak-smoke", false,
+		"with -soak: seconds-scale CI smoke — caps scenario duration at 1s, skips the sweep, and gates only the machine-independent half of the baseline")
 	count := flag.Int("count", 3, "wall-clock runs per op (best is reported)")
 	opFilter := flag.String("op", "",
 		"with -wallclock: only run ops whose name matches this regexp (fixtures for skipped ops are not built)")
@@ -91,6 +104,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "texbench: -validate-baseline requires -baseline <file>")
 			os.Exit(2)
 		}
+		if *soakMode {
+			base, err := soak.LoadReport(*baselinePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "texbench: bad baseline:", err)
+				os.Exit(2)
+			}
+			if base.Sim == nil || len(base.Scenarios) == 0 {
+				fmt.Fprintf(os.Stderr, "texbench: bad baseline: %s is missing the sim-clock soak or wall scenarios\n", *baselinePath)
+				os.Exit(2)
+			}
+			return
+		}
 		if *serving {
 			base, err := bench.LoadServingReport(*baselinePath)
 			if err != nil {
@@ -112,6 +137,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "texbench: bad baseline: %s contains no op results\n", *baselinePath)
 			os.Exit(2)
 		}
+		return
+	}
+
+	if *soakMode {
+		runSoak(so, *outPath, *baselinePath)
 		return
 	}
 

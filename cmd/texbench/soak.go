@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"texid/internal/soak"
+)
+
+// soakOpts carries the -soak-* flag values into runSoak.
+type soakOpts struct {
+	qps      float64
+	duration time.Duration
+	mix      float64
+	shards   int
+	arrival  string
+	addr     string
+	sweep    bool
+	smoke    bool
+}
+
+// soakSimConfig is the deterministic sim-clock soak every BENCH_SOAK run
+// executes: a fixed fault-free schedule whose transcript digest must be
+// identical across repetitions (and across GOMAXPROCS — the chaos tests
+// pin that separately). Shared between the bench and the gate so the
+// baseline and the current run replay the same virtual workload.
+func soakSimConfig() soak.SimConfig {
+	return soak.SimConfig{
+		Workers:    3,
+		Refs:       6,
+		Ops:        400,
+		QPS:        2000,
+		WriteRatio: 0.2,
+		Seed:       41,
+	}
+}
+
+// runSoak runs the sustained-load soak suite: open-loop wall-clock
+// scenarios (steady read-only, enrollment churn, optional GC sweep)
+// against an in-process engine, an in-process multi-shard cluster, or a
+// live texsearchd; plus the deterministic sim-clock soak and the
+// zero-drift allocation probes. Optionally writes BENCH_SOAK.json and/or
+// gates against a committed baseline.
+func runSoak(o soakOpts, outPath, baselinePath string) {
+	start := time.Now()
+	fc := soak.DefaultFixture()
+	mode, shards := "engine", 1
+	switch {
+	case o.addr != "":
+		mode, shards = "http", o.shards
+	case o.shards > 1:
+		mode, shards = "cluster", o.shards
+	}
+	factory := func() (soak.Target, error) {
+		switch mode {
+		case "http":
+			return soak.NewHTTPTarget(o.addr, fc)
+		case "cluster":
+			return soak.NewClusterTarget(shards, fc)
+		default:
+			return soak.NewEngineTarget(fc)
+		}
+	}
+
+	dur := o.duration
+	if o.smoke && dur > time.Second {
+		dur = time.Second
+	}
+	scenarios := []soak.Scenario{
+		{Name: "steady", QPS: o.qps, Duration: dur, Arrival: o.arrival, Seed: 41},
+		{Name: "churn", QPS: o.qps, Duration: dur, Arrival: o.arrival, WriteRatio: o.mix, Seed: 43},
+	}
+
+	rep := &soak.Report{GOMAXPROCS: runtime.GOMAXPROCS(0), Mode: mode, Shards: shards}
+	fmt.Printf("soak (%s mode, %d shard(s), %s arrivals, %.0f QPS offered, %s per scenario)\n",
+		mode, shards, o.arrival, o.qps, dur)
+	printSoakHeader()
+	for _, sc := range scenarios {
+		t, err := factory()
+		if err != nil {
+			fatalSoak(err)
+		}
+		res, err := soak.Run(t, sc)
+		cerr := t.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalSoak(err)
+		}
+		printSoakRow(*res)
+		rep.Scenarios = append(rep.Scenarios, *res)
+	}
+
+	if o.sweep && !o.smoke {
+		base := scenarios[0]
+		base.Name = "steady"
+		sweep, err := soak.RunSweep(factory, base, []int{50, 100, 400}, 256)
+		if err != nil {
+			fatalSoak(err)
+		}
+		fmt.Println("\nGOGC / GOMEMLIMIT sweep:")
+		printSoakHeader()
+		for _, res := range sweep {
+			printSoakRow(res)
+		}
+		rep.Sweep = sweep
+	}
+
+	sim, err := soak.RunSimChecked(soakSimConfig(), 3)
+	if err != nil {
+		fatalSoak(err)
+	}
+	rep.Sim = sim
+	fmt.Printf("\nsim-clock soak: %d ops, %d errors, p50 %.0f us, p99 %.0f us, p99.9 %.0f us, digest %s, deterministic=%v (%d runs)\n",
+		sim.Ops, sim.Errors, sim.P50US, sim.P99US, sim.P999US, sim.Digest, sim.Deterministic, sim.Runs)
+
+	allocs, err := soak.RunAllocProbes()
+	if err != nil {
+		fatalSoak(err)
+	}
+	rep.AllocsPerOp = allocs
+	fmt.Println("\nallocation probes (zero-drift gated):")
+	for _, op := range []string{"engine_search_steady", "serve_submit_demux", "cluster_searchbatch_scatter"} {
+		fmt.Printf("  %-28s %8.1f allocs/op\n", op, allocs[op])
+	}
+	fmt.Fprintf(os.Stderr, "soak suite: GOMAXPROCS=%d, %s total\n",
+		rep.GOMAXPROCS, time.Since(start).Round(time.Millisecond))
+
+	if outPath != "" {
+		if err := rep.WriteFile(outPath); err != nil {
+			fatalSoak(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	}
+	if baselinePath != "" {
+		base, err := soak.LoadReport(baselinePath)
+		if err != nil {
+			fatalSoak(err)
+		}
+		// Smoke runs (CI, unknown hardware) gate only the exact half:
+		// sim determinism and allocs/op drift. Full runs also gate
+		// wall-clock p99 and achieved QPS against the baseline machine.
+		if problems := soak.Compare(base, rep, 0.50, !o.smoke); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", baselinePath)
+	}
+}
+
+func printSoakHeader() {
+	fmt.Printf("%-22s %10s %10s %8s %9s %9s %9s %9s %7s %9s %9s\n",
+		"scenario", "offered", "achieved", "errors", "p50 ms", "p99 ms", "p99.9 ms", "max ms",
+		"GCs", "gc p99 us", "heap MB")
+}
+
+func printSoakRow(r soak.ScenarioResult) {
+	fmt.Printf("%-22s %10.1f %10.1f %8d %9.2f %9.2f %9.2f %9.2f %7d %9.1f %9.1f\n",
+		r.Name, r.TargetQPS, r.AchievedQPS, r.Errors,
+		r.Read.P50MS, r.Read.P99MS, r.Read.P999MS, r.Read.MaxMS,
+		r.GC.Cycles, r.GC.PauseP99US, r.GC.HeapPeakMB)
+}
+
+func fatalSoak(err error) {
+	fmt.Fprintln(os.Stderr, "texbench: soak:", err)
+	os.Exit(2)
+}

@@ -16,6 +16,23 @@ import (
 	"sync/atomic"
 )
 
+// MaxMetrics caps the distinct metric names one registry will hold.
+// Registration interns by name (one canonical object per name, returned
+// to every caller), so a fixed instrumentation vocabulary costs a fixed
+// number of slots — but a bug that derives metric names from request
+// data (a dynamic op label, an id baked into the name) would otherwise
+// grow the exposition without bound over a long soak, turning /metrics
+// into an allocation leak and the scrape into an ever-larger payload.
+// Past the cap, registration returns a live but unexported metric and
+// the overflow is counted in texid_metrics_dropped_total.
+const MaxMetrics = 512
+
+// DroppedMetricName is the counter tracking registrations refused by the
+// MaxMetrics cap. It is registered in every registry, so a non-zero
+// sample on a scrape is the audit signal that something is minting
+// dynamic metric names.
+const DroppedMetricName = "texid_metrics_dropped_total"
+
 // Registry holds named metrics. The zero value is not usable; call
 // NewRegistry.
 type Registry struct {
@@ -28,17 +45,38 @@ type Registry struct {
 	histograms map[string]*Histogram
 	//texlint:guards mu
 	help map[string]string
+
+	// dropped counts registrations refused by the MaxMetrics cap (also
+	// exposed as DroppedMetricName; the field keeps the hot path free of
+	// a map lookup).
+	dropped *Counter
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		help:       make(map[string]string),
 	}
+	r.dropped = &Counter{}
+	r.counters[DroppedMetricName] = r.dropped
+	r.help[DroppedMetricName] = "metric registrations refused by the MaxMetrics name cap"
+	return r
 }
+
+// atCapLocked reports whether registering name would exceed MaxMetrics.
+// Existing names always pass: interning returns the canonical object.
+func (r *Registry) atCapLocked(name string) bool {
+	if _, ok := r.help[name]; ok {
+		return false
+	}
+	return len(r.help) >= MaxMetrics
+}
+
+// Dropped returns how many registrations the cap has refused.
+func (r *Registry) Dropped() float64 { return r.dropped.Value() }
 
 // Counter is a monotonically increasing counter. Float values are stored
 // as micro-units in a uint64 so Add is lock-free.
@@ -146,6 +184,10 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
+	if r.atCapLocked(name) {
+		r.dropped.Inc()
+		return &Counter{} // live but never exposed
+	}
 	c := &Counter{}
 	r.counters[name] = c
 	r.help[name] = help
@@ -161,6 +203,10 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	defer r.mu.Unlock()
 	if g, ok := r.gauges[name]; ok {
 		return g
+	}
+	if r.atCapLocked(name) {
+		r.dropped.Inc()
+		return &Gauge{} // live but never exposed
 	}
 	g := &Gauge{}
 	r.gauges[name] = g
@@ -178,6 +224,12 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	if h, ok := r.histograms[name]; ok {
 		return h
+	}
+	if r.atCapLocked(name) {
+		r.dropped.Inc()
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		return &Histogram{bounds: bs, buckets: make([]uint64, len(bs))} // live but never exposed
 	}
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)

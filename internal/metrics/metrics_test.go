@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -125,4 +126,49 @@ func TestInvalidNamePanics(t *testing.T) {
 		}
 	}()
 	NewRegistry().Counter("bad name!", "")
+}
+
+func TestRegistryCapsDistinctNames(t *testing.T) {
+	r := NewRegistry()
+	// Fill the registry up to the cap (one slot is taken by the dropped
+	// counter itself), simulating a bug that mints metric names from
+	// request data.
+	for i := 0; len(r.help) < MaxMetrics; i++ {
+		r.Counter(fmt.Sprintf("texid_dynamic_%d", i), "runaway name")
+	}
+	if d := r.Dropped(); d != 0 {
+		t.Fatalf("cap tripped while filling: %v", d)
+	}
+	linesAtCap := strings.Count(r.Expose(), "\n")
+
+	// Overflow: registrations still return live metrics, but the
+	// exposition stops growing and the overflow is counted.
+	over := r.Counter("texid_overflow_counter", "refused")
+	over.Add(5)
+	if got := over.Value(); got != 5 {
+		t.Fatalf("overflow counter not usable: %v", got)
+	}
+	r.Gauge("texid_overflow_gauge", "refused").Set(1)
+	r.Histogram("texid_overflow_hist", "refused", DefBuckets).Observe(2)
+	if d := r.Dropped(); d != 3 {
+		t.Fatalf("dropped = %v, want 3", d)
+	}
+	body := r.Expose()
+	if got := strings.Count(body, "\n"); got != linesAtCap {
+		t.Fatalf("exposition grew past the cap: %d lines, was %d", got, linesAtCap)
+	}
+	if !strings.Contains(body, DroppedMetricName+" 3") {
+		t.Fatalf("dropped counter not exposed:\n%s", body[:200])
+	}
+
+	// Interning: re-registering an existing name is never refused and
+	// returns the canonical object, even at cap.
+	again := r.Counter("texid_dynamic_0", "")
+	again.Inc()
+	if r.Dropped() != 3 {
+		t.Fatal("re-registration of an interned name counted as dropped")
+	}
+	if r.Counter("texid_dynamic_0", "") != again {
+		t.Fatal("interning broke: distinct objects for one name")
+	}
 }

@@ -97,6 +97,12 @@ type Batcher[Q, R any] struct {
 	batch   []*call[Q, R]
 	queries []Q
 
+	// created counts call objects ever allocated; when the batcher is
+	// idle every one of them must sit on the freelist, which is the
+	// leak/double-recycle invariant the edge-case tests pin.
+	//texlint:guards mu
+	created uint64
+
 	// Stats, guarded by mu.
 	//texlint:guards mu
 	submitted uint64
@@ -175,6 +181,7 @@ func (b *Batcher[Q, R]) submit(query Q) (c *call[Q, R], lead, signal bool) {
 		b.free = b.free[:n-1]
 	} else {
 		c = &call[Q, R]{done: make(chan struct{}, 1)} //texlint:ignore hotalloc freelist warm-up: each call object is allocated once at peak concurrency and recycled forever after
+		b.created++
 	}
 	c.query = query
 	if len(b.queue) == cap(b.queue) {

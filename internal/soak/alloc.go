@@ -1,0 +1,110 @@
+package soak
+
+import (
+	"fmt"
+	"runtime"
+
+	"texid/internal/blas"
+	"texid/internal/cluster"
+	"texid/internal/engine"
+	"texid/internal/serve"
+	"texid/internal/sift"
+)
+
+// allocsPerRun measures steady-state heap allocations per call of f,
+// pinned to one P so other goroutines' allocations cannot be misbilled
+// (the same discipline as testing.AllocsPerRun, without dragging the
+// testing package into a production binary).
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm caches and freelists outside the measured window
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(runs)
+}
+
+// RunAllocProbes measures the allocs/op of the serving hot paths that
+// BENCH_SOAK.json pins at zero drift:
+//
+//   - engine_search_steady: one warm Engine.Search (the knn hot path)
+//   - serve_submit_demux: one Batcher.Do round trip through the pooled
+//     call freelist (MaxBatch=1, so no coalescing noise — this is the
+//     pure submit/demux overhead, which must stay at zero)
+//   - cluster_searchbatch_scatter: one 4-query SearchBatch scatter-gather
+//     across 3 shards, merge included
+func RunAllocProbes() (map[string]float64, error) {
+	out := make(map[string]float64, 3)
+
+	// knn engine hot path.
+	eng, err := engine.New(soakEngineConfig())
+	if err != nil {
+		return nil, err
+	}
+	data := buildFixtureData(DefaultFixture())
+	for i, f := range data.refs {
+		if err := eng.Add(i, f, nil); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		return nil, err
+	}
+	q := data.queries[0]
+	var searchErr error
+	out["engine_search_steady"] = allocsPerRun(20, func() {
+		if _, err := eng.Search(q, nil); err != nil {
+			searchErr = err
+		}
+	})
+	if searchErr != nil {
+		return nil, fmt.Errorf("soak: engine probe: %w", searchErr)
+	}
+
+	// Pure batcher submit/demux (identity runner, no engine).
+	results := make([]int, 1)
+	b := serve.New(func(qs []int) ([]int, error) {
+		results = results[:0]
+		for _, v := range qs {
+			results = append(results, v)
+		}
+		return results, nil
+	}, serve.Options{MaxBatch: 1})
+	var doErr error
+	out["serve_submit_demux"] = allocsPerRun(100, func() {
+		if _, err := b.Do(7); err != nil {
+			doErr = err
+		}
+	})
+	b.Close()
+	if doErr != nil {
+		return nil, fmt.Errorf("soak: batcher probe: %w", doErr)
+	}
+
+	// Coordinator scatter-gather.
+	c, err := cluster.New(cluster.Config{Workers: 3, Engine: soakEngineConfig()})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close() //texlint:ignore errcheck in-process fixture teardown; nothing to recover from here
+	for i, f := range data.refs {
+		if err := c.Add(i, f, nil); err != nil {
+			return nil, err
+		}
+	}
+	batch := []*blas.Matrix{data.queries[0], data.queries[1], data.queries[2], data.queries[3]}
+	kps := make([][]sift.Keypoint, len(batch))
+	var batchErr error
+	out["cluster_searchbatch_scatter"] = allocsPerRun(10, func() {
+		if _, err := c.SearchBatch(batch, kps); err != nil {
+			batchErr = err
+		}
+	})
+	if batchErr != nil {
+		return nil, fmt.Errorf("soak: scatter probe: %w", batchErr)
+	}
+	return out, nil
+}

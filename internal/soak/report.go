@@ -1,0 +1,149 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SimReport wraps the deterministic soak outcome with its self-check:
+// the run is executed at least twice and Deterministic records whether
+// every repetition produced the same transcript digest. Compare treats a
+// false here as a hard regression — identity under load is a contract,
+// not a statistic.
+type SimReport struct {
+	SimResult
+	Runs          int  `json:"runs"`
+	Deterministic bool `json:"deterministic"`
+}
+
+// Report is the BENCH_SOAK.json shape: wall scenarios (machine-dependent,
+// gated with tolerance), the deterministic sim soak (gated exactly), and
+// allocation probes for the serving hot paths (gated at zero drift).
+type Report struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Mode       string `json:"mode"` // engine | cluster | http
+	Shards     int    `json:"shards"`
+
+	Scenarios []ScenarioResult `json:"scenarios"`
+	Sweep     []ScenarioResult `json:"sweep,omitempty"`
+	Sim       *SimReport       `json:"sim,omitempty"`
+
+	// AllocsPerOp are steady-state heap allocations per operation on the
+	// serving hot paths (see RunAllocProbes). These are code-shape
+	// properties, not timings: they gate at zero drift on any machine.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadReport reads a BENCH_SOAK.json report.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("soak: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// RunSimChecked runs the deterministic soak `runs` times and reports
+// whether every repetition produced an identical transcript digest.
+func RunSimChecked(sc SimConfig, runs int) (*SimReport, error) {
+	if runs < 2 {
+		runs = 2
+	}
+	first, err := RunSim(sc)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SimReport{SimResult: *first, Runs: runs, Deterministic: true}
+	for i := 1; i < runs; i++ {
+		again, err := RunSim(sc)
+		if err != nil {
+			return nil, err
+		}
+		if again.Digest != first.Digest {
+			rep.Deterministic = false
+		}
+	}
+	return rep, nil
+}
+
+// Compare gates current against baseline and returns the problems found
+// (empty = pass).
+//
+// Always gated: the sim-clock soak's determinism self-check, sim error
+// counts, and zero allocs/op drift (a code-shape property, so a baseline
+// from any machine applies). Gated only when gateWall is set: read-path
+// p99 within tol of baseline, achieved QPS within 20% of offered, and
+// zero wall-scenario errors — those are machine-dependent, so CI (which
+// runs on unknown hardware) checks only the exact half.
+func Compare(baseline, current *Report, tol float64, gateWall bool) []string {
+	var problems []string
+
+	if current.Sim == nil {
+		problems = append(problems, "sim: current report has no deterministic sim-clock soak")
+	} else {
+		if !current.Sim.Deterministic {
+			problems = append(problems, fmt.Sprintf("sim: transcript digest varied across %d runs (determinism contract broken)", current.Sim.Runs))
+		}
+		if baseline.Sim != nil && current.Sim.Errors != baseline.Sim.Errors {
+			problems = append(problems, fmt.Sprintf("sim: %d errors, baseline had %d", current.Sim.Errors, baseline.Sim.Errors))
+		}
+	}
+
+	curAllocs := current.AllocsPerOp
+	ops := make([]string, 0, len(baseline.AllocsPerOp))
+	for op := range baseline.AllocsPerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		base := baseline.AllocsPerOp[op]
+		cur, ok := curAllocs[op]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("allocs: probe %q missing from current report", op))
+			continue
+		}
+		// Zero drift: any increase beyond rounding noise fails.
+		if cur > base+0.5 {
+			problems = append(problems, fmt.Sprintf("allocs: %s %.1f allocs/op, baseline %.1f (+%.1f)", op, cur, base, cur-base))
+		}
+	}
+
+	if !gateWall {
+		return problems
+	}
+	baseByName := make(map[string]ScenarioResult, len(baseline.Scenarios))
+	for _, s := range baseline.Scenarios {
+		baseByName[s.Name] = s
+	}
+	for _, s := range current.Scenarios {
+		if s.Errors > 0 {
+			problems = append(problems, fmt.Sprintf("%s: %d errors under load", s.Name, s.Errors))
+		}
+		if s.AchievedQPS < 0.8*s.TargetQPS {
+			problems = append(problems, fmt.Sprintf("%s: achieved %.1f QPS of %.1f offered (generator fell behind)", s.Name, s.AchievedQPS, s.TargetQPS))
+		}
+		b, ok := baseByName[s.Name]
+		if !ok {
+			continue
+		}
+		if b.Read.P99MS > 0 && s.Read.P99MS > b.Read.P99MS*(1+tol) {
+			problems = append(problems, fmt.Sprintf("%s: read p99 %.2f ms, baseline %.2f ms (>%.0f%% regression)", s.Name, s.Read.P99MS, b.Read.P99MS, tol*100))
+		}
+	}
+	return problems
+}

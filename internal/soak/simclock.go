@@ -1,0 +1,210 @@
+package soak
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"texid/internal/blas"
+	"texid/internal/cluster"
+	"texid/internal/faultsim"
+	"texid/internal/wire"
+)
+
+// SimConfig shapes one deterministic sim-clock soak: the same open-loop
+// scenario as the wall harness, replayed sequentially on the simulated
+// device clock with a single-server queueing model. Because every input
+// (features, arrival gaps, read/write interleaving, fault schedule) is
+// derived from the seed and every latency is virtual, two runs — at any
+// GOMAXPROCS — produce byte-identical transcripts.
+type SimConfig struct {
+	// Workers is the shard count; Refs the enrolled population.
+	Workers int
+	Refs    int
+	// Ops is the number of soak operations to replay.
+	Ops int
+	// QPS is the virtual arrival rate (ops per simulated second).
+	QPS float64
+	// Arrival is ArrivalPoisson (default) or ArrivalUniform.
+	Arrival string
+	// WriteRatio is the fraction of ops that are churn Updates.
+	WriteRatio float64
+	// Seed fixes features, schedule, and fault streams.
+	Seed int64
+	// MinShards/Health pass through to the cluster config.
+	MinShards int
+	Health    cluster.HealthPolicy
+	// Plan, when non-nil, builds the fault schedule. It receives the
+	// number of transport Add calls each worker sees during enrollment,
+	// so kill indices can be placed relative to the soak's own reads.
+	Plan func(addsPerWorker int) faultsim.Plan
+	// LocalWorkEvery, when > 0, has every worker run one direct local
+	// search each time this many ops complete — the background
+	// maintenance work a real shard performs regardless of coordinator
+	// traffic. It is what advances a partitioned worker's virtual clock
+	// (coordinator calls are refused before they reach the engine), so
+	// partition-heal schedules need it to make the heal reachable.
+	LocalWorkEvery int
+	// OnOp, when non-nil, observes every completed op (for health-FSM
+	// assertions in tests). It must be deterministic if the transcript
+	// digest is being compared.
+	OnOp func(i int, rep *cluster.Report, err error)
+	// TraceHealth, when set, samples every worker's health state after
+	// each op into SimResult.HealthTrace and folds the states into the
+	// transcript, so failure-detector trajectories are part of the
+	// byte-identity contract.
+	TraceHealth bool
+}
+
+// SimResult is the outcome of one deterministic soak.
+type SimResult struct {
+	Ops    int `json:"ops"`
+	Reads  int `json:"reads"`
+	Writes int `json:"writes"`
+	Errors int `json:"errors"`
+	// Virtual CO-safe latency quantiles in simulated microseconds.
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+	// Digest is the FNV-64a hash of the transcript, rendered as hex.
+	Digest string `json:"digest"`
+	// Transcript concatenates each read's wire-encoded summary, its
+	// quantized virtual latency, and every error string (not serialized;
+	// compared byte-for-byte by the determinism tests).
+	Transcript []byte `json:"-"`
+	// HealthTrace[i] is every worker's health state after op i (only
+	// populated when SimConfig.TraceHealth is set).
+	HealthTrace [][]cluster.HealthState `json:"-"`
+}
+
+// RunSim replays one deterministic sim-clock soak.
+//
+// The queueing model is open-loop single-server: op i's virtual start is
+// max(arrival_i, completion_{i-1}), its service time is the simulated
+// ElapsedUS the cluster reports, and its recorded latency is completion
+// minus *arrival* — the coordinated-omission-safe definition, same as
+// the wall harness, so a slow shard backs up the virtual queue and the
+// backlog is charged to the ops it delayed.
+//
+//texlint:clockdomain
+func RunSim(sc SimConfig) (*SimResult, error) {
+	if sc.Workers < 1 || sc.Refs < 1 || sc.Ops < 1 || sc.QPS <= 0 {
+		return nil, fmt.Errorf("soak: sim config needs Workers, Refs, Ops, QPS")
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	refs := make([]*blas.Matrix, sc.Refs)
+	for i := range refs {
+		refs[i] = unitCols(rng, 16, 24)
+	}
+	queries := make([]*blas.Matrix, 2*sc.Refs)
+	for i := range queries {
+		queries[i] = perturb(rng, refs[i%sc.Refs], 32)
+	}
+	churn := make([]*blas.Matrix, sc.Refs)
+	for i := range churn {
+		churn[i] = unitCols(rng, 16, 24)
+	}
+
+	cfg := cluster.Config{
+		Workers:   sc.Workers,
+		Engine:    soakEngineConfig(),
+		MinShards: sc.MinShards,
+		Health:    sc.Health,
+	}
+	if sc.Plan != nil {
+		cfg.Fault = faultsim.New(sc.Plan(sc.Refs / sc.Workers))
+	}
+	c, err := cluster.New(cfg) //texlint:ignore clockdomain construction is host-side setup (kvstore ping uses wall-clock timeouts); only the op replay below is on the simulated timeline
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close() //texlint:ignore errcheck in-process fixture teardown; nothing to recover from here
+	for i, f := range refs {
+		//texlint:ignore clockdomain transport enrollment is host-side; its wall-clock use (kvstore timeouts) never reaches the virtual timeline
+		if err := c.Add(i, f, nil); err != nil {
+			return nil, fmt.Errorf("soak: sim enroll %d: %w", i, err)
+		}
+	}
+
+	res := &SimResult{Ops: sc.Ops}
+	var (
+		lat        hist
+		transcript []byte
+		arrival    float64 // virtual µs
+		busy       float64 // virtual completion time of the previous op
+		gapUS      = 1e6 / sc.QPS
+	)
+	for i := 0; i < sc.Ops; i++ {
+		if sc.Arrival == ArrivalUniform {
+			arrival = float64(i) * gapUS
+		} else {
+			arrival += rng.ExpFloat64() * gapUS
+		}
+		write := rng.Float64() < sc.WriteRatio
+		key := uint64(rng.Int63())
+
+		var service float64
+		var rep *cluster.Report
+		var opErr error
+		if write {
+			res.Writes++
+			id := int(key % uint64(sc.Refs))
+			//texlint:ignore clockdomain cluster RPC plumbing is host-side; only the returned simulated ElapsedUS enters the virtual timeline
+			opErr = c.Update(id, churn[key%uint64(len(churn))], nil)
+		} else {
+			res.Reads++
+			//texlint:ignore clockdomain cluster RPC plumbing is host-side; only the returned simulated ElapsedUS enters the virtual timeline
+			rep, opErr = c.Search(queries[key%uint64(len(queries))], nil)
+			if opErr == nil {
+				service = rep.ElapsedUS
+			}
+		}
+
+		start := arrival
+		if busy > start {
+			start = busy
+		}
+		complete := start + service
+		busy = complete
+		l := int64(complete - arrival)
+		lat.record(l)
+
+		if opErr != nil {
+			res.Errors++
+			transcript = append(transcript, fmt.Sprintf("op %d error: %v\n", i, opErr)...)
+		} else if rep != nil {
+			transcript = append(transcript, wire.EncodeSummary(rep.Summary())...)
+		}
+		transcript = binary.BigEndian.AppendUint64(transcript, uint64(l))
+		if sc.TraceHealth {
+			states := c.Health()
+			res.HealthTrace = append(res.HealthTrace, states)
+			for _, st := range states {
+				transcript = append(transcript, byte(st))
+			}
+		}
+		if sc.OnOp != nil {
+			sc.OnOp(i, rep, opErr)
+		}
+		if sc.LocalWorkEvery > 0 && (i+1)%sc.LocalWorkEvery == 0 {
+			for wi, eng := range c.Workers() {
+				if _, err := eng.Search(queries[uint64(i+wi)%uint64(len(queries))], nil); err != nil {
+					return nil, fmt.Errorf("soak: local work on worker %d: %w", wi, err)
+				}
+			}
+		}
+	}
+
+	res.P50US = float64(lat.quantile(0.50))
+	res.P99US = float64(lat.quantile(0.99))
+	res.P999US = float64(lat.quantile(0.999))
+	res.MaxUS = float64(lat.max)
+	res.Transcript = transcript
+	h := fnv.New64a()
+	_, _ = h.Write(transcript)
+	res.Digest = fmt.Sprintf("%016x", h.Sum64())
+	return res, nil
+}

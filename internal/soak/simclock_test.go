@@ -1,0 +1,111 @@
+package soak
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// simTestConfig is the short deterministic soak used by the identity
+// tests: 3 shards, mixed read/write, Poisson virtual arrivals.
+func simTestConfig() SimConfig {
+	return SimConfig{
+		Workers: 3, Refs: 6, Ops: 60,
+		QPS: 2000, WriteRatio: 0.2, Seed: 31,
+	}
+}
+
+// TestSimSoakBitIdentical is the acceptance gate for the deterministic
+// half of the harness: the full transcript (wire summaries, quantized
+// virtual latencies, error strings) is byte-identical across 3
+// consecutive runs and at GOMAXPROCS 1 and 4.
+func TestSimSoakBitIdentical(t *testing.T) {
+	sc := simTestConfig()
+	first, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Errors != 0 {
+		t.Fatalf("%d errors without faults", first.Errors)
+	}
+	if first.Reads == 0 || first.Writes == 0 {
+		t.Fatalf("mix collapsed: %d reads, %d writes", first.Reads, first.Writes)
+	}
+	if !(first.P50US <= first.P99US && first.P99US <= first.P999US && first.P999US <= first.MaxUS) {
+		t.Fatalf("virtual quantiles out of order: %+v", first)
+	}
+	if first.MaxUS <= 0 {
+		t.Fatal("no virtual latency recorded")
+	}
+
+	for run := 0; run < 2; run++ {
+		again, err := RunSim(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Transcript, first.Transcript) {
+			t.Fatalf("run %d transcript differs from first", run+2)
+		}
+		if again.Digest != first.Digest {
+			t.Fatalf("run %d digest %s != %s", run+2, again.Digest, first.Digest)
+		}
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		again, err := RunSim(sc)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Transcript, first.Transcript) {
+			t.Fatalf("GOMAXPROCS=%d transcript differs", procs)
+		}
+	}
+}
+
+// TestSimSoakQueueingBacklog pins the coordinated-omission correction in
+// the virtual queueing model: at an offered rate far above the simulated
+// service rate, the open-loop queue must back up and the tail must
+// dwarf the median (a closed-loop harness would report a flat profile).
+func TestSimSoakQueueingBacklog(t *testing.T) {
+	fast := simTestConfig()
+	fast.QPS = 50 // far below service rate: nearly no queueing
+	slow := simTestConfig()
+	slow.QPS = 1e6 // far above service rate: every op queues
+
+	fr, err := RunSim(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := RunSim(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.MaxUS <= fr.MaxUS {
+		t.Fatalf("overload max %v not above underload max %v", sr.MaxUS, fr.MaxUS)
+	}
+	// Under heavy overload the backlog grows linearly with op index, so
+	// the overloaded tail must dwarf anything the underloaded run saw,
+	// and must still sit above its own median (every op is queued, later
+	// ops deeper). A closed-loop harness would show neither.
+	if sr.P999US < 10*fr.MaxUS {
+		t.Fatalf("overloaded p99.9 %.0fµs not far above underloaded max %.0fµs", sr.P999US, fr.MaxUS)
+	}
+	if sr.P999US < 2*sr.P50US {
+		t.Fatalf("overloaded tail %.0fµs vs median %.0fµs: backlog not charged to delayed ops", sr.P999US, sr.P50US)
+	}
+}
+
+// TestRunSimChecked pins the self-check wrapper texbench gates on.
+func TestRunSimChecked(t *testing.T) {
+	rep, err := RunSimChecked(simTestConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("self-check reported nondeterminism on a deterministic config")
+	}
+	if rep.Runs != 2 || rep.Digest == "" {
+		t.Fatalf("sim report incomplete: %+v", rep)
+	}
+}

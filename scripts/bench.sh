@@ -10,6 +10,12 @@
 #      on lost result identity, a sub-3x speedup at concurrency 16, or a
 #      >10% batched-QPS drop against the committed BENCH_SERVE.json.
 #      Bit-reproducible — the same gate runs in CI.
+#   3. Soak suite (cmd/texbench -soak): open-loop sustained-load scenarios
+#      (steady + enrollment churn) with coordinated-omission-safe tail
+#      latency and GC telemetry, a deterministic sim-clock soak, and
+#      zero-drift allocation probes, gated against BENCH_SOAK.json. The
+#      wall half is machine-dependent (50% p99 tolerance); the sim and
+#      allocs halves are exact and also gate in CI via -soak-smoke.
 #
 #   scripts/bench.sh                          # compare against committed baselines
 #   COUNT=5 scripts/bench.sh                  # more wall-clock runs per op (less noise)
@@ -44,6 +50,8 @@ if [[ "${UPDATE:-0}" == 1 ]]; then
   go run ./cmd/texbench -wallclock -count "$COUNT" "${MAX_NS[@]}" -out BENCH_HOST.json
   echo "==> texbench -serving (writing BENCH_SERVE.json)"
   go run ./cmd/texbench -serving -out BENCH_SERVE.json
+  echo "==> texbench -soak (writing BENCH_SOAK.json)"
+  go run ./cmd/texbench -soak -soak-sweep -out BENCH_SOAK.json
   echo "OK"
   exit 0
 fi
@@ -53,11 +61,13 @@ if [[ "${TEXID_BENCH_BASELINE:-}" == "skip" ]]; then
   go run ./cmd/texbench -wallclock -count "$COUNT"
   echo "==> texbench -serving (regression gate skipped: TEXID_BENCH_BASELINE=skip)"
   go run ./cmd/texbench -serving -serving-wall
+  echo "==> texbench -soak (regression gate skipped: TEXID_BENCH_BASELINE=skip)"
+  go run ./cmd/texbench -soak -soak-sweep
   echo "OK"
   exit 0
 fi
 
-for f in BENCH_HOST.json BENCH_SERVE.json; do
+for f in BENCH_HOST.json BENCH_SERVE.json BENCH_SOAK.json; do
   if [[ ! -f "$f" ]]; then
     {
       echo "error: $f not found — there is no baseline to gate against."
@@ -82,9 +92,18 @@ if ! go run ./cmd/texbench -serving -validate-baseline -baseline BENCH_SERVE.jso
   } >&2
   exit 1
 fi
+if ! go run ./cmd/texbench -soak -validate-baseline -baseline BENCH_SOAK.json; then
+  {
+    echo "error: BENCH_SOAK.json is malformed or empty."
+    echo "  re-record it with: UPDATE=1 scripts/bench.sh"
+  } >&2
+  exit 1
+fi
 
 echo "==> texbench -wallclock (vs committed BENCH_HOST.json)"
 go run ./cmd/texbench -wallclock -count "$COUNT" "${MAX_NS[@]}" -baseline BENCH_HOST.json
 echo "==> texbench -serving (vs committed BENCH_SERVE.json)"
 go run ./cmd/texbench -serving -baseline BENCH_SERVE.json
+echo "==> texbench -soak (vs committed BENCH_SOAK.json)"
+go run ./cmd/texbench -soak -baseline BENCH_SOAK.json
 echo "OK"
