@@ -57,6 +57,8 @@ func main() {
 	minShards := flag.Int("min-shards", 1, "minimum shards that must answer before a search fails instead of degrading")
 	maxBatch := flag.Int("max-batch", 16, "max concurrent /v1/search requests coalesced into one batched scatter pass (<= 1 disables)")
 	batchWindowUS := flag.Int("batch-window-us", 200, "how long the first query of a batch waits for co-travellers, wall-clock µs")
+	pruneC := flag.Int("prune-c", 0, "binary Hamming prefilter: candidate images reranked per shard (0 disables pruning)")
+	pruneProbes := flag.Int("prune-probes", 0, "query descriptors probed by the prefilter scan (0 = default 64)")
 	flag.Parse()
 
 	cfg := engine.DefaultConfig()
@@ -75,6 +77,8 @@ func main() {
 	cfg.RefFeatures = *refFeatures
 	cfg.QueryFeatures = *queryFeatures
 	cfg.HostCacheBytes = int64(*hostCacheGB) << 30
+	cfg.PruneC = *pruneC
+	cfg.PruneProbes = *pruneProbes
 
 	storeAddr := *store
 	if storeAddr == "embedded" {
@@ -133,6 +137,9 @@ func main() {
 		st.Workers, cfg.Spec.Name, st.CapacityImages, st.CacheGB)
 	if *maxBatch > 1 {
 		log.Printf("micro-batching: coalescing up to %d concurrent searches within %dµs", *maxBatch, *batchWindowUS)
+	}
+	if *pruneC > 0 {
+		log.Printf("candidate pruning: Hamming prefilter reranks top-%d images per shard", *pruneC)
 	}
 	log.Printf("serving REST API on http://%s (metrics at /metrics)", *listen)
 

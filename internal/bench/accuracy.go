@@ -97,7 +97,7 @@ func top1Accuracy(ds *accDataset, m, n int, rootSIFT bool, opts knn.Options, rat
 
 	correct := 0
 	for qi, qf := range ds.queries {
-		q, err := knn.NewQuery(dev, trim(qf, n, rootSIFT), opts.Scale)
+		q, err := knn.NewQuery(dev, trim(qf, n, rootSIFT), opts.Precision, opts.Scale)
 		if err != nil {
 			panic(fmt.Sprintf("bench: query: %v", err))
 		}

@@ -7,7 +7,7 @@ import "fmt"
 var Experiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 	"fig1", "fig4", "system",
-	"qbatch", "ablate-sort", "ablate-swap", "ablate-jitter", "ablate-descriptor", "ablate-geometric", "cbir", "verify-cost", "difficulty", "devices",
+	"qbatch", "ablate-sort", "ablate-swap", "ablate-jitter", "ablate-descriptor", "ablate-geometric", "cbir", "verify-cost", "difficulty", "devices", "prune",
 }
 
 // Run executes one experiment by id.
@@ -53,6 +53,8 @@ func Run(id string, opts Options) (*Table, error) {
 		return DifficultySweep(opts), nil
 	case "devices":
 		return DeviceProjection(opts), nil
+	case "prune":
+		return PruneSweep(opts), nil
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, Experiments)
 }
@@ -82,5 +84,6 @@ func All(opts Options) []*Table {
 		VerifyCost(opts),
 		DifficultySweep(opts),
 		DeviceProjection(opts),
+		pruneWithDataset(ds, opts),
 	}
 }

@@ -464,3 +464,42 @@ func TestAblateGeometricShape(t *testing.T) {
 		t.Fatalf("RANSAC should not destroy true accuracy: %v -> %v", rawAcc, geoAcc)
 	}
 }
+
+func TestPruneSweepShape(t *testing.T) {
+	tb := PruneSweep(tinyOpts())
+	if len(tb.Rows) != 6 {
+		t.Fatalf("want 6 budget rows, got %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "off" {
+		t.Fatalf("first row should be the unpruned baseline, got %q", tb.Rows[0][0])
+	}
+	offRecall := cellFloat(t, tb.Rows[0][1])
+	offAcc := cellFloat(t, tb.Rows[0][2])
+	if offRecall != 100 {
+		t.Fatalf("unpruned candidate recall must be 100%%, got %v", offRecall)
+	}
+	var prevRecall float64
+	for _, r := range tb.Rows[1:] {
+		recall := cellFloat(t, r[1])
+		if recall < prevRecall {
+			t.Fatalf("candidate recall should not fall as C grows: C=%s %v < %v", r[0], recall, prevRecall)
+		}
+		prevRecall = recall
+	}
+	// At the largest budget the prefilter passes everything through (C=16 >=
+	// 5 refs): recall and accuracy must match the unpruned row exactly.
+	last := tb.Rows[len(tb.Rows)-1]
+	if cellFloat(t, last[1]) != 100 {
+		t.Fatalf("C>=N recall %v, want 100", cellFloat(t, last[1]))
+	}
+	if cellFloat(t, last[2]) != offAcc {
+		t.Fatalf("C>=N accuracy %v, want unpruned %v", cellFloat(t, last[2]), offAcc)
+	}
+	// Avg reranked tracks min(C, refs).
+	if got := cellFloat(t, tb.Rows[1][3]); got != 1 {
+		t.Fatalf("C=1 should rerank exactly 1 image/query, got %v", got)
+	}
+	if got := cellFloat(t, last[3]); got != 5 {
+		t.Fatalf("C=16 on 5 refs should rerank all 5, got %v", got)
+	}
+}

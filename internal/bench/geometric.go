@@ -69,7 +69,7 @@ func AblateGeometric(opts Options) *Table {
 
 	// evaluate scores one query against all refs under a match config.
 	evaluate := func(qf *sift.Features, mcfg match.Config) (int, bool) {
-		q, err := knn.NewQuery(dev, trim(qf, n, true), 1)
+		q, err := knn.NewQuery(dev, trim(qf, n, true), gpusim.FP32, 1)
 		if err != nil {
 			panic(fmt.Sprintf("bench: query: %v", err))
 		}

@@ -3,12 +3,14 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"regexp"
 	"runtime"
 	"time"
 
+	"texid/internal/binq"
 	"texid/internal/blas"
 	"texid/internal/engine"
 	"texid/internal/gpusim"
@@ -191,6 +193,64 @@ func hostOps(opFilter *regexp.Regexp) []hostOp {
 		})
 	}
 
+	// Binary Hamming prefilter scan over a ~1M-descriptor shard: the
+	// pruning hot loop (XOR + popcount over packed 128-bit codes, blocked
+	// and parallel), isolated from the rerank.
+	if keep("binq_scan_1m") {
+		const m, images, probes = 384, 2604, 64 // 999,936 codes
+		state := uint64(0x9E3779B97F4A7C15)
+		next := func() uint64 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state
+		}
+		panel := make([]binq.Code, images*m)
+		for i := range panel {
+			panel[i] = binq.Code{next(), next()}
+		}
+		q := make([]binq.Code, probes)
+		for i := range q {
+			q[i] = binq.Code{next(), next()}
+		}
+		scores := make([]uint32, images)
+		var sc binq.Scanner
+		ops = append(ops, hostOp{
+			name:  "binq_scan_1m",
+			bytes: float64(len(panel) * binq.Bytes),
+			fn:    func() { sc.Scan(panel, m, q, scores) },
+		})
+	}
+
+	// Steady-state search on a 10x-larger reference set, pruned vs not:
+	// the pair that backs the capacity claim (the prefilter reranks only
+	// PruneC of the 160 images, so the pruned op must stay close to the
+	// 16-image steady-state cost instead of scaling with the shard).
+	if keep("engine_search_steady_pruned") {
+		eng, q := prunedSearchFixture(16)
+		ops = append(ops, hostOp{
+			name:  "engine_search_steady_pruned",
+			bytes: float64(prunedRefs*searchM)*binq.Bytes + float64(16*searchM*128*2),
+			fn: func() {
+				if _, err := eng.Search(q, nil); err != nil {
+					panic(fmt.Sprintf("bench: pruned search: %v", err))
+				}
+			},
+		})
+	}
+	if keep("engine_search_steady_unpruned_10x") {
+		eng, q := prunedSearchFixture(0)
+		ops = append(ops, hostOp{
+			name:  "engine_search_steady_unpruned_10x",
+			bytes: float64(prunedRefs * searchM * 128 * 2),
+			fn: func() {
+				if _, err := eng.Search(q, nil); err != nil {
+					panic(fmt.Sprintf("bench: unpruned 10x search: %v", err))
+				}
+			},
+		})
+	}
+
 	// Steady-state engine search and the end-to-end extract+search path.
 	for _, prec := range []gpusim.Precision{gpusim.FP32, gpusim.FP16} {
 		prec := prec
@@ -252,7 +312,88 @@ func CheckCeilings(rep *HostReport, ceilings map[string]float64) []string {
 const (
 	searchRefs = 16
 	searchM    = 256
+	// prunedRefs is the 10x shard for the pruning pair: large enough that
+	// an unpruned search is GEMM-dominated, small enough to enroll fast.
+	prunedRefs = 10 * searchRefs
 )
+
+// unitDescriptors returns a d×n matrix of non-negative unit-norm columns —
+// the shape and value range of RootSIFT descriptors. The pruning fixtures
+// enroll 160 reference images; synthesizing descriptors keeps that setup in
+// milliseconds where SIFT extraction would dominate the whole suite.
+func unitDescriptors(rng *rand.Rand, d, n int) *blas.Matrix {
+	m := blas.NewMatrix(d, n)
+	for j := 0; j < n; j++ {
+		col := m.Col(j)
+		var sum float64
+		for i := range col {
+			v := float32(rng.Float64())
+			col[i] = v * v // skew toward small values like real histograms
+			sum += float64(col[i]) * float64(col[i])
+		}
+		inv := float32(1 / (math.Sqrt(sum) + 1e-12))
+		for i := range col {
+			col[i] *= inv
+		}
+	}
+	return m
+}
+
+// noisyRecapture builds an n-column query from a reference's descriptors:
+// each query column is a perturbed copy of a (cycled) reference column,
+// clamped non-negative and re-normalized.
+func noisyRecapture(rng *rand.Rand, ref *blas.Matrix, n int, sigma float64) *blas.Matrix {
+	q := blas.NewMatrix(ref.Rows, n)
+	for j := 0; j < n; j++ {
+		src := ref.Col(j % ref.Cols)
+		col := q.Col(j)
+		var sum float64
+		for i := range col {
+			v := src[i] + float32(rng.NormFloat64()*sigma)
+			if v < 0 {
+				v = 0
+			}
+			col[i] = v
+			sum += float64(v) * float64(v)
+		}
+		inv := float32(1 / (math.Sqrt(sum) + 1e-12))
+		for i := range col {
+			col[i] *= inv
+		}
+	}
+	return q
+}
+
+// prunedSearchFixture builds the 10x-shard engine for the pruning pair.
+// pruneC == 0 leaves the prefilter off (the unpruned comparison op).
+func prunedSearchFixture(pruneC int) (*engine.Engine, *blas.Matrix) {
+	cfg := engine.DefaultConfig()
+	cfg.Precision = gpusim.FP16
+	cfg.Algorithm = knn.RootSIFT
+	cfg.Accum = blas.AccumFP16
+	cfg.BatchSize = 8
+	cfg.Streams = 2
+	cfg.RefFeatures = searchM
+	cfg.QueryFeatures = 768
+	cfg.Match = match.DefaultConfig()
+	cfg.PruneC = pruneC
+	eng, err := engine.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: engine: %v", err))
+	}
+	rng := rand.New(rand.NewSource(4242))
+	refs := make([]*blas.Matrix, prunedRefs)
+	for i := range refs {
+		refs[i] = unitDescriptors(rng, cfg.Dim, searchM)
+		if err := eng.Add(i, refs[i], nil); err != nil {
+			panic(fmt.Sprintf("bench: enroll: %v", err))
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		panic(fmt.Sprintf("bench: flush: %v", err))
+	}
+	return eng, noisyRecapture(rng, refs[3], 768, 0.02)
+}
 
 // searchFixture builds a small engine with enrolled synthetic references
 // plus one captured query for the steady-state search ops.

@@ -1,0 +1,275 @@
+// Package binq implements the binary-quantized Hamming prefilter that lets
+// a shard hold millions of references without paying the exact GEMM for
+// every one of them. Each 128-d RootSIFT descriptor is binarized into a
+// packed 128-bit code (bit i = sign of the mean-centered component i, the
+// "sign-of-mean" quantizer of Jian et al.'s XOR-friendly binary
+// quantization), so one reference image collapses from m·d·2 bytes of FP16
+// features to m·16 bytes of codes — a 16× smaller operand that a blocked
+// XOR + popcount scan walks at memory bandwidth. The scan keeps a
+// deterministic top-C candidate set per query; only those candidates go
+// through the exact GemmTN/HGemmTNPanel + Top2AddRows rerank, which is why
+// pruned scores are bitwise identical to unpruned ones (see the engine's
+// pruning pipeline).
+//
+// Everything here is deterministic by construction: the scan parallelizes
+// over disjoint per-image score slots (blas.Parallel's shape-only
+// partition), the selector breaks score ties by the lower image index, and
+// no float arithmetic is involved anywhere.
+package binq
+
+import (
+	"math/bits"
+
+	"texid/internal/blas"
+)
+
+const (
+	// Words is the number of 64-bit words per code.
+	Words = 2
+	// MaxDim is the largest descriptor dimensionality a code can hold.
+	MaxDim = Words * 64
+)
+
+// Code is one packed binary descriptor: bit i (word i/64, bit i%64) is set
+// iff component i of the descriptor exceeds its learned threshold.
+type Code [Words]uint64
+
+// Bytes is the storage footprint of one code.
+const Bytes = Words * 8
+
+// Thresholds holds the per-dimension binarization cut points, learned once
+// at enroll time (the mean of each dimension over the first sealed batch)
+// and frozen thereafter so codes stay comparable across batches and across
+// snapshot save/load.
+type Thresholds []float32
+
+// LearnThresholds computes per-dimension means over the columns of the
+// given descriptor matrices. RootSIFT components are all non-negative, so
+// mean-centering is what gives the sign bit its information content.
+func LearnThresholds(mats []*blas.Matrix) Thresholds {
+	if len(mats) == 0 {
+		return nil
+	}
+	d := mats[0].Rows
+	sums := make([]float64, d)
+	n := 0
+	for _, m := range mats {
+		for j := 0; j < m.Cols; j++ {
+			col := m.Col(j)
+			for i, v := range col {
+				sums[i] += float64(v)
+			}
+		}
+		n += m.Cols
+	}
+	t := make(Thresholds, d)
+	if n == 0 {
+		return t
+	}
+	for i, s := range sums {
+		t[i] = float32(s / float64(n))
+	}
+	return t
+}
+
+// Encode appends one code per column of mat to dst and returns the extended
+// slice. Bit i is set iff col[i] > t[i] — strictly greater, so the
+// quantizer is a pure function of the float bits with no ties to break.
+// mat.Rows must not exceed MaxDim (or len(t)).
+func (t Thresholds) Encode(mat *blas.Matrix, dst []Code) []Code {
+	for j := 0; j < mat.Cols; j++ {
+		col := mat.Col(j)
+		var c Code
+		for i, v := range col {
+			if v > t[i] {
+				c[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		dst = append(dst, c) //texlint:ignore hotalloc callers append onto a reused scratch whose capacity is retained across searches; growth amortizes to zero warm (TestScanZeroAlloc, TestSearchSteadyStateAllocs)
+	}
+	return dst
+}
+
+// Hamming returns the Hamming distance between two codes.
+func Hamming(a, b Code) int {
+	return bits.OnesCount64(a[0]^b[0]) + bits.OnesCount64(a[1]^b[1])
+}
+
+// Scanner runs the prefilter kernel with zero warm-path allocations: the
+// per-image closure handed to blas.Parallel is bound once and reused, so
+// steady-state scans never touch the heap. A Scanner is not safe for
+// concurrent use; the engine owns one per engine under its exec mutex.
+type Scanner struct {
+	panel  []Code
+	m      int
+	probes []Code
+	scores []uint32
+	fn     func(int)
+}
+
+// Scan is the prefilter kernel: panel holds images·m codes (image i's
+// descriptors occupy panel[i*m:(i+1)*m], mirroring the concatenated GEMM
+// operand layout), and for every image the kernel accumulates
+//
+//	scores[i] = Σ_p min_j Hamming(probes[p], panel[i*m+j])
+//
+// — each query probe votes with its distance to the image's closest code,
+// so a matching reference accumulates a small score. The loop blocks by
+// image: one image's 6 KB code block stays cache-resident across all
+// probes, which is what makes the host kernel compute-bound rather than
+// re-streaming the panel per probe. Parallelism is per image via
+// blas.Parallel (shape-only partition, disjoint score writes), so results
+// are bitwise independent of GOMAXPROCS; the integer arithmetic has no
+// rounding to reorder in the first place.
+//
+// len(panel) must be a multiple of m and len(scores) = len(panel)/m. The
+// warm path performs zero allocations.
+//
+//texlint:hotpath
+func (s *Scanner) Scan(panel []Code, m int, probes []Code, scores []uint32) {
+	if m <= 0 || len(panel) == 0 {
+		return
+	}
+	if s.fn == nil {
+		s.fn = s.scanImage //texlint:ignore hotalloc the method value is bound once on first use and reused for the scanner's lifetime
+	}
+	s.panel, s.m, s.probes, s.scores = panel, m, probes, scores
+	blas.Parallel(len(panel)/m, s.fn)
+	s.panel, s.probes, s.scores = nil, nil, nil
+}
+
+// scanImage scores one image block against every probe.
+//
+//texlint:hotpath
+func (s *Scanner) scanImage(img int) {
+	m := s.m
+	block := s.panel[img*m : (img+1)*m]
+	var sum uint32
+	for _, p := range s.probes {
+		p0, p1 := p[0], p[1]
+		minD := uint32(MaxDim + 1)
+		for _, c := range block {
+			d := uint32(bits.OnesCount64(c[0]^p0) + bits.OnesCount64(c[1]^p1))
+			if d < minD {
+				minD = d
+			}
+		}
+		sum += minD
+	}
+	s.scores[img] = sum
+}
+
+// ScanMin is the convenience form of Scanner.Scan for one-off scans (tests,
+// oracles); it allocates a throwaway Scanner per call.
+//
+//texlint:coldpath one-off entry point; the engine and benchmarks reuse a Scanner
+func ScanMin(panel []Code, m int, probes []Code, scores []uint32) {
+	var s Scanner
+	s.Scan(panel, m, probes, scores)
+}
+
+// candidate is one selector entry.
+type candidate struct {
+	score uint32
+	idx   int32
+}
+
+// TopC is a deterministic bounded selector: it retains the c entries with
+// the smallest scores, breaking score ties toward the smaller index. The
+// heap buffer is retained across Reset calls, so a warm selector allocates
+// nothing.
+type TopC struct {
+	c    int
+	heap []candidate // max-heap: worst retained entry at the root
+}
+
+// Reset prepares the selector to keep the best c entries.
+func (t *TopC) Reset(c int) {
+	t.c = c
+	if cap(t.heap) < c {
+		t.heap = make([]candidate, 0, c)
+	}
+	t.heap = t.heap[:0]
+}
+
+// Len returns the number of entries currently retained.
+func (t *TopC) Len() int { return len(t.heap) }
+
+// worse reports whether a ranks strictly worse than b: a larger score, or
+// an equal score at a larger index. This is the heap order (worst at root)
+// and its negation is the selection order.
+func worse(a, b candidate) bool {
+	return a.score > b.score || (a.score == b.score && a.idx > b.idx)
+}
+
+// Offer considers one (index, score) entry. Entries must be offered in
+// ascending index order for the tie-break to be meaningful; the selection
+// is then a pure function of the score slice.
+//
+//texlint:hotpath
+func (t *TopC) Offer(idx int32, score uint32) {
+	e := candidate{score: score, idx: idx}
+	if len(t.heap) < t.c {
+		t.heap = append(t.heap, e)
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if t.c == 0 || !worse(t.heap[0], e) {
+		return // e is no better than the current worst
+	}
+	t.heap[0] = e
+	t.siftDown(0)
+}
+
+func (t *TopC) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(t.heap[i], t.heap[parent]) {
+			return
+		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+func (t *TopC) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && worse(t.heap[l], t.heap[largest]) {
+			largest = l
+		}
+		if r < n && worse(t.heap[r], t.heap[largest]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// AppendSorted appends the retained indices to dst in ascending index
+// order (the order the rerank walks batches in) and returns the extended
+// slice. The heap is consumed in place; call Reset before reusing the
+// selector. Indices are unique, so insertion sort on the small candidate
+// set is deterministic and allocation-free.
+func (t *TopC) AppendSorted(dst []int32) []int32 {
+	base := len(dst)
+	for _, e := range t.heap {
+		dst = append(dst, e.idx) //texlint:ignore hotalloc dst is a reused candidate scratch capped at C entries per query; capacity is retained across searches
+	}
+	sorted := dst[base:]
+	for i := 1; i < len(sorted); i++ {
+		v := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] > v {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = v
+	}
+	return dst
+}

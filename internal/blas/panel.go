@@ -1,5 +1,7 @@
 package blas
 
+import "fmt"
+
 // Panel is an alloc-free cache of a widened binary16 operand: the tight
 // k-stride float32 staging (dst[j*k+i] = src[i,j]) that HGemmTN otherwise
 // rebuilds from scratch on every call. The engine keeps one Panel per
@@ -78,5 +80,47 @@ func HGemmTNPanel(alpha float32, panel *Panel, A, B *HalfMatrix, mode AccumMode,
 	pb, bw := getF32(n * k)
 	defer f32Pool.Put(pb)
 	widenHalf(B, bw)
+	hgemmCore(alpha, aw, bw, m, n, k, mode, C)
+}
+
+// StageHalf widens h into dst as the k-stride float32 staging the HGemmTN
+// kernels consume (dst[j*k+i] = widen(h[i,j])), growing dst only when its
+// capacity is insufficient, and returns the resized slice. It lets a caller
+// widen a query operand once and run many HGemmTNStaged calls against it —
+// the candidate-pruned rerank stages the query per batch instead of per
+// candidate slot.
+//
+//texlint:hotpath
+func StageHalf(h *HalfMatrix, dst []float32) []float32 {
+	need := h.Rows * h.Cols
+	if cap(dst) < need {
+		dst = make([]float32, need)
+	}
+	dst = dst[:need]
+	widenHalf(h, dst)
+	return dst
+}
+
+// HGemmTNStaged runs the HGemmTN kernel directly over pre-widened k-stride
+// stagings: aw holds m columns and bw n columns of k floats each (as built
+// by StageHalf or cached in a Panel). Because hgemmCore only ever consumes
+// the widened staging — the binary16 bits themselves are not re-read — a
+// contiguous column slice of a batch Panel fed through this entry point
+// produces output bits identical to the same columns of a full
+// HGemmTNPanel call. That slice-invariance is what lets the Hamming
+// prefilter rerank a gathered candidate subset without re-widening or
+// copying the resident reference operand.
+//
+//texlint:hotpath
+func HGemmTNStaged(alpha float32, aw, bw []float32, m, n, k int, mode AccumMode, C *Matrix) {
+	if k > 0 && (len(aw) < m*k || len(bw) < n*k) {
+		panic(fmt.Sprintf("blas: HGemmTNStaged stagings %d/%d too short for %dx%dx%d", len(aw), len(bw), m, n, k))
+	}
+	if C.Rows != m || C.Cols != n {
+		panic(fmt.Sprintf("blas: HGemmTNStaged output %dx%d, want %dx%d", C.Rows, C.Cols, m, n))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
 	hgemmCore(alpha, aw, bw, m, n, k, mode, C)
 }

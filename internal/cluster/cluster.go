@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"texid/internal/binq"
 	"texid/internal/blas"
 	"texid/internal/engine"
 	"texid/internal/faultsim"
@@ -557,7 +558,9 @@ func (c *Cluster) Rebalance(from int) (int, error) {
 	}
 	src := c.workers[from]
 	var moved []int
-	err := src.eng.Export(func(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+	// Codes are intentionally dropped: each destination engine re-encodes
+	// under its own learned thresholds at seal time.
+	err := src.eng.Export(func(id int, feats *blas.Matrix, kps []sift.Keypoint, _ []binq.Code) error {
 		c.mu.Lock()
 		wi, err := c.pickWorkerLocked()
 		for err == nil && wi == from {

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"texid/internal/binq"
 	"texid/internal/blas"
 	"texid/internal/knn"
 )
@@ -28,6 +29,7 @@ func (e *Engine) Compact() (reclaimed int, err error) {
 		uid    int
 		public int
 		feats  *blas.Matrix
+		codes  []binq.Code
 	}
 	var all []live
 	dead := 0
@@ -58,7 +60,14 @@ func (e *Engine) Compact() (reclaimed int, err error) {
 					}
 				}
 			}
-			all = append(all, live{uid: uid, public: public, feats: feats})
+			var codes []binq.Code
+			if panel := rb.Codes(); panel != nil {
+				// Carry the enrolled codes through verbatim: re-encoding
+				// from widened (quantized) features could flip bits that
+				// sit exactly on a threshold.
+				codes = append(codes, panel[slot*rb.M:(slot+1)*rb.M]...)
+			}
+			all = append(all, live{uid: uid, public: public, feats: feats, codes: codes})
 		}
 	}
 	if dead == 0 {
@@ -74,6 +83,7 @@ func (e *Engine) Compact() (reclaimed int, err error) {
 			sb.rb.Free()
 			sb.resident = false
 		}
+		sb.rb.FreeCodes()
 		sb.rb.ReleasePanel()
 		e.hybrid.Remove(it.ID)
 	}
@@ -93,6 +103,16 @@ func (e *Engine) Compact() (reclaimed int, err error) {
 			e.cfg.Scale, e.cfg.Algorithm != knn.RootSIFT)
 		if err != nil {
 			return 0, err
+		}
+		if e.cfg.PruneC > 0 {
+			panel := make([]binq.Code, 0, (end-start)*e.cfg.RefFeatures)
+			for _, l := range all[start:end] {
+				panel = append(panel, l.codes...)
+			}
+			if err := rb.AttachCodes(panel, end-start); err != nil {
+				rb.Free()
+				return 0, err
+			}
 		}
 		if err := e.commitBatchLocked(rb); err != nil {
 			return 0, err

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"texid/internal/binq"
 	"texid/internal/blas"
 	"texid/internal/cache"
 	"texid/internal/gpusim"
@@ -55,6 +56,16 @@ type Config struct {
 	// KeepKeypoints stores reference keypoints host-side for geometric
 	// verification.
 	KeepKeypoints bool
+	// PruneC enables the binary Hamming prefilter: every search first scans
+	// packed 128-bit codes of all references and only the top-PruneC
+	// candidates go through the exact GEMM rerank. Zero disables pruning
+	// (bitwise-identical to the unpruned engine). Requires the RootSIFT
+	// algorithm and Dim <= binq.MaxDim.
+	PruneC int
+	// PruneProbes caps how many query descriptors are encoded as scan
+	// probes (the first columns, which SIFT extraction orders by response).
+	// Zero means the default of 64.
+	PruneProbes int
 }
 
 // DefaultConfig returns the paper's production configuration on a P100:
@@ -131,8 +142,17 @@ type Engine struct {
 	pendingUIDs []int
 	//texlint:guards mu
 	pendingMats []*blas.Matrix
-	workspace   int64
-	searches    atomic.Int64
+	// pendingCodes parallels pendingMats: non-nil entries carry pre-encoded
+	// binary codes (snapshot restore); nil entries are encoded at seal time.
+	//texlint:guards mu
+	pendingCodes [][]binq.Code
+	// thresh is the per-dimension binarization threshold vector, learned
+	// from the first sealed batch (or restored from a snapshot) and fixed
+	// for the life of the index so every enrolled code is comparable.
+	//texlint:guards mu
+	thresh    binq.Thresholds
+	workspace int64
+	searches  atomic.Int64
 
 	// execMu serializes one batch pass at a time over the streams and the
 	// reusable host-side working sets: the match kernels' distance matrix
@@ -149,6 +169,8 @@ type Engine struct {
 	qscratch knn.QueryScratch
 	//texlint:guards execMu
 	itemsBuf []*cache.Item
+	//texlint:guards execMu
+	prune pruneScratch
 }
 
 // New creates an engine, allocating per-stream device workspace (the
@@ -164,6 +186,17 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}
+	if cfg.PruneC > 0 {
+		if cfg.Algorithm != knn.RootSIFT {
+			return nil, fmt.Errorf("engine: candidate pruning requires the RootSIFT algorithm")
+		}
+		if cfg.Dim > binq.MaxDim {
+			return nil, fmt.Errorf("engine: candidate pruning supports dim <= %d, got %d", binq.MaxDim, cfg.Dim)
+		}
+		if cfg.PruneProbes <= 0 {
+			cfg.PruneProbes = 64
+		}
+	}
 	dev := gpusim.NewDevice(cfg.Spec)
 
 	// Per-stream workspace: the (B·m)×n distance matrix plus a staging
@@ -178,6 +211,16 @@ func New(cfg Config) (*Engine, error) {
 	gpuBudget := cfg.GPUCacheBytes
 	if gpuBudget == 0 {
 		gpuBudget = dev.FreeBytes() - (256 << 20) // safety margin for queries
+		if cfg.PruneC > 0 {
+			// Binary codes stay device-resident even for host-cached
+			// batches (that is what makes the whole-index scan possible),
+			// so the automatic feature-cache budget leaves a proportional
+			// slice for them: 16 bytes/descriptor against the feature
+			// footprint. Deployments holding far more host- than
+			// GPU-resident references should set GPUCacheBytes explicitly.
+			refB := int64(cfg.Dim) * int64(cfg.Precision.ElemBytes())
+			gpuBudget = gpuBudget * refB / (refB + binq.Bytes*4)
+		}
 	}
 	if gpuBudget <= 0 {
 		dev.Free(workspace)
@@ -221,6 +264,15 @@ func (e *Engine) WorkspaceBytes() int64 { return e.workspace }
 // verification is enabled. Batches seal automatically when BatchSize
 // references accumulate.
 func (e *Engine) Add(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+	return e.AddEncoded(id, feats, kps, nil)
+}
+
+// AddEncoded is Add with an optional pre-built binary code panel (one code
+// per feature column), used by snapshot restore so persisted codes survive
+// round-trips bit-for-bit instead of being re-derived from re-quantized
+// features. A nil codes slice encodes at seal time from the engine's
+// thresholds; non-nil requires pruning to be enabled.
+func (e *Engine) AddEncoded(id int, feats *blas.Matrix, kps []sift.Keypoint, codes []binq.Code) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.refs[id]; dup {
@@ -229,6 +281,14 @@ func (e *Engine) Add(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
 	if feats.Rows != e.cfg.Dim || feats.Cols != e.cfg.RefFeatures {
 		return fmt.Errorf("engine: features are %dx%d, want %dx%d",
 			feats.Rows, feats.Cols, e.cfg.Dim, e.cfg.RefFeatures)
+	}
+	if codes != nil {
+		if e.cfg.PruneC <= 0 {
+			return fmt.Errorf("engine: pre-encoded codes require pruning (PruneC > 0)")
+		}
+		if len(codes) != e.cfg.RefFeatures {
+			return fmt.Errorf("engine: %d codes for %d features", len(codes), e.cfg.RefFeatures)
+		}
 	}
 	meta := &refMeta{uid: e.nextUID}
 	e.nextUID++
@@ -239,9 +299,40 @@ func (e *Engine) Add(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
 	e.uidToPublic[meta.uid] = id
 	e.pendingUIDs = append(e.pendingUIDs, meta.uid)
 	e.pendingMats = append(e.pendingMats, feats)
+	e.pendingCodes = append(e.pendingCodes, codes)
 	if len(e.pendingUIDs) >= e.cfg.BatchSize {
 		return e.sealLocked()
 	}
+	return nil
+}
+
+// Thresholds returns a copy of the binarization threshold vector (nil until
+// the first batch seals or SetThresholds restores one).
+func (e *Engine) Thresholds() binq.Thresholds {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.thresh == nil {
+		return nil
+	}
+	return append(binq.Thresholds(nil), e.thresh...)
+}
+
+// SetThresholds installs a restored threshold vector (snapshot load). Only
+// legal on an empty index — codes already enrolled under different
+// thresholds would stop being comparable.
+func (e *Engine) SetThresholds(t binq.Thresholds) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.PruneC <= 0 {
+		return fmt.Errorf("engine: thresholds require pruning (PruneC > 0)")
+	}
+	if len(t) != e.cfg.Dim {
+		return fmt.Errorf("engine: %d thresholds for dim %d", len(t), e.cfg.Dim)
+	}
+	if len(e.refs) > 0 || len(e.pendingUIDs) > 0 {
+		return fmt.Errorf("engine: thresholds can only be set on an empty index")
+	}
+	e.thresh = append(binq.Thresholds(nil), t...)
 	return nil
 }
 
@@ -268,6 +359,14 @@ func (e *Engine) AddPhantom(startID, count int) error {
 			rb.IDs[i] = uid
 			e.refs[public] = &refMeta{uid: uid}
 			e.uidToPublic[uid] = public
+		}
+		if e.cfg.PruneC > 0 {
+			// Charge the device bytes of the (phantom) code panel so the
+			// capacity experiments account for the prefilter's footprint.
+			if err := rb.AttachCodes(nil, chunk); err != nil {
+				rb.Free()
+				return err
+			}
 		}
 		if err := e.commitBatchLocked(rb); err != nil {
 			return err
@@ -313,8 +412,29 @@ func (e *Engine) sealLocked() error {
 	if err != nil {
 		return err
 	}
+	if e.cfg.PruneC > 0 {
+		if e.thresh == nil {
+			// Thresholds are learned once, from the first sealed batch,
+			// then frozen: every later code must be comparable to every
+			// earlier one.
+			e.thresh = binq.LearnThresholds(e.pendingMats)
+		}
+		panel := make([]binq.Code, 0, len(e.pendingUIDs)*e.cfg.RefFeatures)
+		for i, mat := range e.pendingMats {
+			if pc := e.pendingCodes[i]; pc != nil {
+				panel = append(panel, pc...)
+			} else {
+				panel = e.thresh.Encode(mat, panel)
+			}
+		}
+		if err := rb.AttachCodes(panel, len(e.pendingUIDs)); err != nil {
+			rb.Free()
+			return err
+		}
+	}
 	e.pendingUIDs = nil
 	e.pendingMats = nil
+	e.pendingCodes = nil
 	return e.commitBatchLocked(rb)
 }
 
@@ -324,6 +444,7 @@ func (e *Engine) commitBatchLocked(rb *knn.RefBatch) error {
 	sb := &sealedBatch{rb: rb, resident: true}
 	if _, err := e.hybrid.Add(e.nextBatchID, rb.Bytes(), sb); err != nil {
 		rb.Free()
+		rb.FreeCodes()
 		rb.ReleasePanel()
 		for _, uid := range rb.IDs {
 			if public, ok := e.uidToPublic[uid]; ok {

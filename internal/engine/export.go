@@ -4,16 +4,20 @@ import (
 	"fmt"
 	"sort"
 
+	"texid/internal/binq"
 	"texid/internal/blas"
 	"texid/internal/sift"
 )
 
 // Export visits every live reference in enrollment order, passing its
 // public id, feature matrix (widened from FP16 with the storage scale
-// divided out, so it is in original descriptor units), and keypoints (nil
-// unless KeepKeypoints). It is the basis for snapshot persistence.
-// Engines holding phantom references cannot be exported.
-func (e *Engine) Export(visit func(id int, feats *blas.Matrix, kps []sift.Keypoint) error) error {
+// divided out, so it is in original descriptor units), keypoints (nil
+// unless KeepKeypoints), and — when pruning is enabled — the reference's
+// binary code panel slice, so a snapshot can persist the exact enrolled
+// codes instead of re-deriving them from re-quantized features. It is the
+// basis for snapshot persistence. Engines holding phantom references
+// cannot be exported.
+func (e *Engine) Export(visit func(id int, feats *blas.Matrix, kps []sift.Keypoint, codes []binq.Code) error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.sealLocked(); err != nil {
@@ -23,6 +27,7 @@ func (e *Engine) Export(visit func(id int, feats *blas.Matrix, kps []sift.Keypoi
 		uid    int
 		public int
 		feats  *blas.Matrix
+		codes  []binq.Code
 	}
 	var all []entry
 	for _, it := range e.hybrid.Items() {
@@ -48,7 +53,11 @@ func (e *Engine) Export(visit func(id int, feats *blas.Matrix, kps []sift.Keypoi
 					}
 				}
 			}
-			all = append(all, entry{uid: uid, public: public, feats: feats})
+			var codes []binq.Code
+			if panel := rb.Codes(); panel != nil {
+				codes = append(codes, panel[slot*rb.M:(slot+1)*rb.M]...)
+			}
+			all = append(all, entry{uid: uid, public: public, feats: feats, codes: codes})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].uid < all[j].uid })
@@ -57,7 +66,7 @@ func (e *Engine) Export(visit func(id int, feats *blas.Matrix, kps []sift.Keypoi
 		if meta := e.refs[en.public]; meta != nil {
 			kps = meta.kps
 		}
-		if err := visit(en.public, en.feats, kps); err != nil {
+		if err := visit(en.public, en.feats, kps, en.codes); err != nil {
 			return err
 		}
 	}

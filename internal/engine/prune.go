@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"texid/internal/binq"
+	"texid/internal/blas"
+	"texid/internal/cache"
+	"texid/internal/knn"
+	"texid/internal/match"
+	"texid/internal/sift"
+)
+
+// Candidate pruning (Config.PruneC > 0) turns every search into two
+// phases:
+//
+//  1. Scan: the query's strongest descriptors are binarized with the
+//     engine's learned thresholds and XOR/popcount-compared against the
+//     always-resident 128-bit code panel of every reference — including
+//     host-demoted batches, whose codes never leave the device. Each
+//     image's score is the sum over probes of the minimum Hamming distance
+//     to any of its codes.
+//  2. Rerank: only the top-C images (deterministic ties: lower scan score,
+//     then lower global slot) run the exact GEMM + fused top-2 pipeline,
+//     via the candidate-restricted match variants whose outputs are
+//     bitwise identical to the full match for the selected slots.
+//
+// Host-resident batches with no selected candidates are skipped entirely —
+// no PCIe transfer, no kernels — which is where the capacity gain comes
+// from: the feature payload of a pruned-out batch never crosses the bus.
+//
+// Phantom scans (phantom queries, or phantom-enrolled batches, which have
+// no code data) charge the same simulated kernel time and deterministically
+// select the first C global slots.
+
+// pruneScratch is the reusable working set of the pruned search path,
+// owned by the engine alongside knn.Scratch.
+//
+//texlint:guards execMu
+type pruneScratch struct {
+	scanner  binq.Scanner
+	qcodes   []binq.Code // encoded probes, all queries concatenated
+	probeOff []int       // per-query probe offsets (len Bq+1)
+	scores   []uint32    // scan scores, [qi*total+g]
+	sel      binq.TopC
+	cand     []int32 // per-query candidate lists (ascending), concatenated
+	candOff  []int   // per-query offsets into cand (len Bq+1)
+	cursor   []int   // per-query walk position in cand
+	segLo    []int   // per-query segment bounds within the current batch
+	segHi    []int
+	slots    []int32 // current batch's (union) candidate slots, ascending
+	slotIdx  []int32 // batch slot -> position in slots
+	mark     []bool
+	base     []int // per-batch global slot offset
+}
+
+func (ps *pruneScratch) growScores(n int) []uint32 {
+	if cap(ps.scores) < n {
+		ps.scores = make([]uint32, n)
+	}
+	ps.scores = ps.scores[:n]
+	return ps.scores
+}
+
+func (ps *pruneScratch) growInts(n int) {
+	if cap(ps.probeOff) < n+1 {
+		ps.probeOff = make([]int, n+1)
+		ps.candOff = make([]int, n+1)
+		ps.cursor = make([]int, n)
+		ps.segLo = make([]int, n)
+		ps.segHi = make([]int, n)
+	}
+	ps.probeOff = ps.probeOff[:n+1]
+	ps.candOff = ps.candOff[:n+1]
+	ps.cursor = ps.cursor[:n]
+	ps.segLo = ps.segLo[:n]
+	ps.segHi = ps.segHi[:n]
+}
+
+func (ps *pruneScratch) growMarks(count int) {
+	if cap(ps.mark) < count {
+		ps.mark = make([]bool, count) // zeroed; reused marks are cleared after every batch
+		ps.slotIdx = make([]int32, count)
+	}
+	ps.mark = ps.mark[:count]
+	ps.slotIdx = ps.slotIdx[:count]
+}
+
+// layout records the per-batch global slot offsets and total image count,
+// and reports whether any batch lacks code data (forcing a phantom scan).
+func (ps *pruneScratch) layout(items []*cache.Item) (total int, phantomScan bool) {
+	ps.base = ps.base[:0]
+	for _, it := range items {
+		rb := it.Payload.(*sealedBatch).rb
+		ps.base = append(ps.base, total) //texlint:ignore hotalloc engine-owned scratch reused via [:0]; reaches batch-count capacity after the first pass
+		total += rb.Count()
+		if rb.Codes() == nil {
+			phantomScan = true
+		}
+	}
+	return total, phantomScan
+}
+
+// encodeProbes binarizes the first min(limit, mat.Cols) columns of mat
+// (SIFT orders descriptors by response, so these are the strongest),
+// appending onto ps.qcodes.
+func (ps *pruneScratch) encodeProbes(t binq.Thresholds, mat *blas.Matrix, limit int) {
+	p := limit
+	if mat.Cols < p {
+		p = mat.Cols
+	}
+	view := blas.Matrix{Rows: mat.Rows, Cols: p, Stride: mat.Stride, Data: mat.Data}
+	ps.qcodes = t.Encode(&view, ps.qcodes)
+}
+
+// selectTopC fills ps.cand (from offset len(ps.cand)) with the C best
+// global slots of scores: ascending slot order, ties broken toward lower
+// slots — the determinism contract of the prefilter.
+func (ps *pruneScratch) selectTopC(scores []uint32, c int) {
+	ps.sel.Reset(c)
+	for g, s := range scores {
+		ps.sel.Offer(int32(g), s)
+	}
+	ps.cand = ps.sel.AppendSorted(ps.cand)
+}
+
+// firstC appends slots 0..min(c,total)-1 — the phantom-scan selection.
+func (ps *pruneScratch) firstC(c, total int) {
+	if c > total {
+		c = total
+	}
+	for g := 0; g < c; g++ {
+		ps.cand = append(ps.cand, int32(g)) //texlint:ignore hotalloc engine-owned scratch reused via [:0]; bounded by Bq*PruneC entries
+	}
+}
+
+// prunedPass runs the scan + candidate-rerank phases of a single-query
+// search. Called with execMu held and mu read-locked, between the
+// Synchronize() pair that attributes the elapsed interval.
+//
+//texlint:hotpath
+//texlint:ignore streampair Search synchronizes the device after this pass returns
+func (e *Engine) prunedPass(q *knn.Query, queryFeats *blas.Matrix, queryKps []sift.Keypoint,
+	opts knn.Options, items []*cache.Item, report *Report, phantom bool) error {
+	ps := &e.prune
+	total, phantomScan := ps.layout(items)
+	phantomScan = phantomScan || phantom
+	report.Scanned = total
+	if total == 0 {
+		return nil
+	}
+
+	probes := e.cfg.PruneProbes
+	ps.qcodes = ps.qcodes[:0]
+	if !phantomScan {
+		ps.encodeProbes(e.thresh, queryFeats, probes)
+		probes = len(ps.qcodes)
+	}
+	var scores []uint32
+	if !phantomScan {
+		scores = ps.growScores(total)
+	}
+
+	// Phase 1: scan every batch's resident code panel. Demoted batches need
+	// no transfer — their codes never left the device.
+	S := len(e.streams)
+	for bi, it := range items {
+		rb := it.Payload.(*sealedBatch).rb
+		count, lo := rb.Count(), ps.base[bi]
+		e.streams[bi%S].BinaryScan(count*rb.M, probes, binq.Words, func() {
+			if phantomScan {
+				return
+			}
+			ps.scanner.Scan(rb.Codes(), rb.M, ps.qcodes, scores[lo:lo+count])
+		})
+	}
+
+	ps.cand = ps.cand[:0]
+	if phantomScan {
+		ps.firstC(e.cfg.PruneC, total)
+	} else {
+		ps.selectTopC(scores, e.cfg.PruneC)
+	}
+
+	// Phase 2: exact rerank of the selected slots, batch by batch in the
+	// same stream layout. Batches with no candidates are skipped outright.
+	ci := 0
+	for bi, it := range items {
+		if ci >= len(ps.cand) {
+			break
+		}
+		rb := it.Payload.(*sealedBatch).rb
+		base := ps.base[bi]
+		end := base + rb.Count()
+		lo := ci
+		for ci < len(ps.cand) && int(ps.cand[ci]) < end {
+			ci++
+		}
+		if ci == lo {
+			continue
+		}
+		ps.slots = ps.slots[:0]
+		for _, g := range ps.cand[lo:ci] {
+			ps.slots = append(ps.slots, g-int32(base)) //texlint:ignore hotalloc engine-owned scratch reused via [:0]; bounded by PruneC entries
+		}
+		stream := e.streams[bi%S]
+		if it.Loc == cache.OnHost {
+			// Only the candidates' feature columns cross PCIe.
+			stream.CopyH2D(int64(len(ps.slots))*int64(rb.M)*int64(rb.D)*int64(e.cfg.Precision.ElemBytes()),
+				e.cfg.PinnedHost, nil)
+		}
+		res, err := knn.MatchCandidatesScratch(stream, rb, q, ps.slots, opts, &e.scratch)
+		if err != nil {
+			return err
+		}
+		report.Compared += len(ps.slots)
+		if phantom {
+			continue
+		}
+		for _, pair := range res {
+			public, live := e.uidToPublic[pair.RefID]
+			if !live {
+				continue // tombstoned slot won a candidate place; harmless
+			}
+			meta := e.refs[public]
+			score := match.PairScore(pair, meta.kps, queryKps, e.cfg.Match)
+			report.Ranked = append(report.Ranked, match.SearchResult{RefID: public, Score: score})
+		}
+	}
+	return nil
+}
+
+// prunedBatchPass is the multi-query form: one scan pass per batch covers
+// every query's probe set, selection is per query, and each batch reranks
+// the union of its queries' candidates with one gathered multi-query GEMM.
+//
+//texlint:hotpath
+//texlint:ignore streampair SearchBatch synchronizes the device after this pass returns
+func (e *Engine) prunedBatchPass(mq *knn.MultiQuery, queryFeats []*blas.Matrix, queryKps [][]sift.Keypoint,
+	opts knn.Options, items []*cache.Item, reports []*Report, phantom bool) error {
+	ps := &e.prune
+	Bq := len(reports)
+	total, phantomScan := ps.layout(items)
+	phantomScan = phantomScan || phantom
+	for _, rep := range reports {
+		rep.Scanned = total
+	}
+	if total == 0 {
+		return nil
+	}
+	ps.growInts(Bq)
+
+	ps.qcodes = ps.qcodes[:0]
+	totalProbes := 0
+	for qi := 0; qi < Bq; qi++ {
+		ps.probeOff[qi] = len(ps.qcodes)
+		if !phantomScan {
+			ps.encodeProbes(e.thresh, queryFeats[qi], e.cfg.PruneProbes)
+		} else {
+			totalProbes += e.cfg.PruneProbes
+		}
+	}
+	ps.probeOff[Bq] = len(ps.qcodes)
+	if !phantomScan {
+		totalProbes = len(ps.qcodes)
+	}
+	var scores []uint32
+	if !phantomScan {
+		scores = ps.growScores(Bq * total)
+	}
+
+	// Phase 1: one scan op per batch covering all queries' probes.
+	S := len(e.streams)
+	for bi, it := range items {
+		rb := it.Payload.(*sealedBatch).rb
+		count, lo := rb.Count(), ps.base[bi]
+		e.streams[bi%S].BinaryScan(count*rb.M, totalProbes, binq.Words, func() {
+			if phantomScan {
+				return
+			}
+			for qi := 0; qi < Bq; qi++ {
+				ps.scanner.Scan(rb.Codes(), rb.M,
+					ps.qcodes[ps.probeOff[qi]:ps.probeOff[qi+1]],
+					scores[qi*total+lo:qi*total+lo+count])
+			}
+		})
+	}
+
+	// Per-query selection into the concatenated candidate list.
+	ps.cand = ps.cand[:0]
+	for qi := 0; qi < Bq; qi++ {
+		ps.candOff[qi] = len(ps.cand)
+		if phantomScan {
+			ps.firstC(e.cfg.PruneC, total)
+		} else {
+			ps.selectTopC(scores[qi*total:(qi+1)*total], e.cfg.PruneC)
+		}
+		ps.cursor[qi] = ps.candOff[qi]
+	}
+	ps.candOff[Bq] = len(ps.cand)
+
+	// Phase 2: per batch, rerank the union of all queries' candidates with
+	// one gathered multi-query GEMM, then score each query from its own
+	// segment.
+	for bi, it := range items {
+		rb := it.Payload.(*sealedBatch).rb
+		count := rb.Count()
+		base := ps.base[bi]
+		end := base + count
+		ps.growMarks(count)
+		any := false
+		for qi := 0; qi < Bq; qi++ {
+			ps.segLo[qi] = ps.cursor[qi]
+			for ps.cursor[qi] < ps.candOff[qi+1] && int(ps.cand[ps.cursor[qi]]) < end {
+				ps.cursor[qi]++
+			}
+			ps.segHi[qi] = ps.cursor[qi]
+			for _, g := range ps.cand[ps.segLo[qi]:ps.segHi[qi]] {
+				if !ps.mark[int(g)-base] {
+					ps.mark[int(g)-base] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		ps.slots = ps.slots[:0]
+		for s := 0; s < count; s++ {
+			if ps.mark[s] {
+				ps.slotIdx[s] = int32(len(ps.slots))
+				ps.slots = append(ps.slots, int32(s)) //texlint:ignore hotalloc engine-owned scratch reused via [:0]; bounded by the batch image count
+				ps.mark[s] = false
+			}
+		}
+		stream := e.streams[bi%S]
+		if it.Loc == cache.OnHost {
+			stream.CopyH2D(int64(len(ps.slots))*int64(rb.M)*int64(rb.D)*int64(e.cfg.Precision.ElemBytes()),
+				e.cfg.PinnedHost, nil)
+		}
+		res, err := knn.MatchMultiQueryCandidates(stream, rb, mq, ps.slots, opts, &e.scratch)
+		if err != nil {
+			return err
+		}
+		for qi, rep := range reports {
+			seg := ps.cand[ps.segLo[qi]:ps.segHi[qi]]
+			rep.Compared += len(seg)
+			if phantom {
+				continue
+			}
+			for _, g := range seg {
+				pair := res[qi][ps.slotIdx[int(g)-base]]
+				public, live := e.uidToPublic[pair.RefID]
+				if !live {
+					continue
+				}
+				meta := e.refs[public]
+				var kps []sift.Keypoint
+				if queryKps != nil && qi < len(queryKps) {
+					kps = queryKps[qi]
+				}
+				score := match.PairScore(pair, meta.kps, kps, e.cfg.Match)
+				rep.Ranked = append(rep.Ranked, match.SearchResult{RefID: public, Score: score})
+			}
+		}
+	}
+	return nil
+}

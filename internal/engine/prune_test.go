@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"texid/internal/blas"
+	"texid/internal/match"
+)
+
+func prunedConfig(c int) Config {
+	cfg := testConfig()
+	cfg.PruneC = c
+	return cfg
+}
+
+func enrollTestRefs(t *testing.T, e *Engine, rng *rand.Rand, n int) []*blas.Matrix {
+	t.Helper()
+	refs := make([]*blas.Matrix, n)
+	for i := range refs {
+		refs[i] = unitFeatures(rng, 16, 24)
+		if err := e.Add(100+i, refs[i], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return refs
+}
+
+func sameRanked(a, b []match.SearchResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPrunedSearchFindsReference: the prefilter must not prune away the
+// true match at the default candidate budget.
+func TestPrunedSearchFindsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	e, err := New(prunedConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := enrollTestRefs(t, e, rng, 12)
+	q := queryFor(rng, refs[7], 32, 0.02)
+	rep, err := e.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestID != 107 {
+		t.Fatalf("best = %d, want 107 (ranked %v)", rep.BestID, rep.Ranked)
+	}
+	if rep.Scanned != 12 {
+		t.Fatalf("scanned %d, want 12", rep.Scanned)
+	}
+	if rep.Compared != 4 {
+		t.Fatalf("compared %d, want PruneC=4", rep.Compared)
+	}
+}
+
+// TestPrunedSearchDeterministic: byte-identical results across repeated
+// runs and GOMAXPROCS settings — the scan, selection, and rerank must not
+// depend on scheduling.
+func TestPrunedSearchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	e, err := New(prunedConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := enrollTestRefs(t, e, rng, 11)
+	q := queryFor(rng, refs[4], 32, 0.05)
+
+	type outcome struct {
+		best, score int
+		ranked      []match.SearchResult
+	}
+	var runs []outcome
+	for run := 0; run < 3; run++ {
+		for _, procs := range []int{1, 4} {
+			prev := runtime.GOMAXPROCS(procs)
+			rep, err := e.Search(q, nil)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, outcome{rep.BestID, rep.Score,
+				append([]match.SearchResult(nil), rep.Ranked...)})
+		}
+	}
+	for i := 1; i < len(runs); i++ {
+		if runs[i].best != runs[0].best || runs[i].score != runs[0].score ||
+			!sameRanked(runs[i].ranked, runs[0].ranked) {
+			t.Fatalf("run %d differs: %+v vs %+v", i, runs[i], runs[0])
+		}
+	}
+}
+
+// TestPruneCCoveringAllRefsMatchesUnpruned: with C >= N the prefilter
+// passes everything through, and the rerank's scores must be bitwise
+// identical to the unpruned engine's.
+func TestPruneCCoveringAllRefsMatchesUnpruned(t *testing.T) {
+	const N = 10
+	rngA := rand.New(rand.NewSource(23))
+	rngB := rand.New(rand.NewSource(23))
+	pruned, err := New(prunedConfig(N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := enrollTestRefs(t, pruned, rngA, N)
+	enrollTestRefs(t, plain, rngB, N)
+
+	q := queryFor(rand.New(rand.NewSource(24)), refs[2], 32, 0.05)
+	rp, err := pruned.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := plain.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.BestID != ru.BestID || rp.Score != ru.Score || !sameRanked(rp.Ranked, ru.Ranked) {
+		t.Fatalf("pruned C=N diverged from unpruned:\n%+v\nvs\n%+v", rp, ru)
+	}
+	if rp.Compared != N {
+		t.Fatalf("compared %d, want %d", rp.Compared, N)
+	}
+}
+
+// TestPruneCZeroIsUnpruned: the zero value takes the legacy single-phase
+// path — no scan op, Scanned stays 0, full Compared.
+func TestPruneCZeroIsUnpruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	e, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := enrollTestRefs(t, e, rng, 6)
+	rep, err := e.Search(queryFor(rng, refs[0], 32, 0.05), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 0 {
+		t.Fatalf("unpruned search reports Scanned=%d", rep.Scanned)
+	}
+	if rep.Compared != 6 {
+		t.Fatalf("compared %d, want 6", rep.Compared)
+	}
+	if e.Thresholds() != nil {
+		t.Fatal("thresholds learned with pruning off")
+	}
+}
+
+// TestPrunedSearchBatchMatchesSingle: the batched pruned path must agree
+// with per-query pruned searches.
+func TestPrunedSearchBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	e, err := New(prunedConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := enrollTestRefs(t, e, rng, 9)
+	queries := []*blas.Matrix{
+		queryFor(rng, refs[1], 32, 0.05),
+		queryFor(rng, refs[6], 32, 0.05),
+		unitFeatures(rng, 16, 32),
+	}
+	br, err := e.SearchBatch(queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		single, err := e.Search(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := br.Reports[qi]
+		if rep.BestID != single.BestID || rep.Score != single.Score ||
+			!sameRanked(rep.Ranked, single.Ranked) {
+			t.Fatalf("query %d: batch %+v vs single %+v", qi, rep, single)
+		}
+		if rep.Scanned != 9 {
+			t.Fatalf("query %d scanned %d, want 9", qi, rep.Scanned)
+		}
+	}
+}
+
+// TestPrunedPhantomSearch: phantom-enrolled engines still charge the scan
+// and rerank only C candidates.
+func TestPrunedPhantomSearch(t *testing.T) {
+	cfg := prunedConfig(8)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddPhantom(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Search(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scanned != 64 {
+		t.Fatalf("scanned %d, want 64", rep.Scanned)
+	}
+	if rep.Compared != 8 {
+		t.Fatalf("compared %d, want 8", rep.Compared)
+	}
+	if rep.ElapsedUS <= 0 {
+		t.Fatalf("no simulated time: %+v", rep)
+	}
+}
+
+// TestPrunedCompactKeepsCodes: compaction must carry the enrolled codes
+// (and thresholds) through, so pruned searches keep working bit-for-bit.
+func TestPrunedCompactKeepsCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	e, err := New(prunedConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := enrollTestRefs(t, e, rng, 8)
+	q := queryFor(rng, refs[5], 32, 0.05)
+	before, err := e.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{100, 103} {
+		if !e.Remove(id) {
+			t.Fatalf("remove %d failed", id)
+		}
+	}
+	reclaimed, err := e.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed != 2 {
+		t.Fatalf("reclaimed %d, want 2", reclaimed)
+	}
+	after, err := e.Search(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.BestID != before.BestID {
+		t.Fatalf("best changed after compact: %d vs %d", after.BestID, before.BestID)
+	}
+	if after.Scanned != 6 {
+		t.Fatalf("scanned %d after compact, want 6", after.Scanned)
+	}
+}
+
+// TestPruneConfigValidation: pruning is RootSIFT-only and bounded by the
+// code width.
+func TestPruneConfigValidation(t *testing.T) {
+	cfg := prunedConfig(4)
+	cfg.Algorithm = 0 // Baseline
+	if _, err := New(cfg); err == nil {
+		t.Fatal("pruning accepted for non-RootSIFT algorithm")
+	}
+	cfg = prunedConfig(4)
+	cfg.Dim = 256
+	if _, err := New(cfg); err == nil {
+		t.Fatal("pruning accepted for dim > 128")
+	}
+}
+
+// TestThresholdLifecycle: SetThresholds only on an empty pruning engine,
+// Thresholds returns the learned vector after the first seal.
+func TestThresholdLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	e, err := New(prunedConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Thresholds() != nil {
+		t.Fatal("thresholds before first seal")
+	}
+	enrollTestRefs(t, e, rng, 4)
+	th := e.Thresholds()
+	if len(th) != 16 {
+		t.Fatalf("thresholds len %d, want 16", len(th))
+	}
+	if err := e.SetThresholds(th); err == nil {
+		t.Fatal("SetThresholds accepted on a non-empty index")
+	}
+
+	e2, err := New(prunedConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SetThresholds(th); err != nil {
+		t.Fatal(err)
+	}
+	got := e2.Thresholds()
+	for i := range th {
+		if got[i] != th[i] {
+			t.Fatalf("restored threshold %d = %g, want %g", i, got[i], th[i])
+		}
+	}
+}

@@ -20,8 +20,12 @@ type Report struct {
 	// Ranked holds every scored candidate in descending score order
 	// (omitted for phantom searches).
 	Ranked []match.SearchResult
-	// Compared is the number of reference images matched.
+	// Compared is the number of reference images matched (with pruning
+	// enabled, the candidates that survived the prefilter).
 	Compared int
+	// Scanned is the number of reference images the binary prefilter
+	// scanned (zero when pruning is disabled).
+	Scanned int
 	// ElapsedUS is the simulated wall time of the search and Speed the
 	// resulting throughput in image comparisons per second.
 	ElapsedUS float64
@@ -56,7 +60,7 @@ func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Rep
 		if queryFeats.Rows != e.cfg.Dim {
 			return nil, fmt.Errorf("engine: query dim %d, want %d", queryFeats.Rows, e.cfg.Dim)
 		}
-		q, err = knn.NewQueryScratch(e.dev, queryFeats, e.cfg.Scale, &e.qscratch)
+		q, err = knn.NewQueryScratch(e.dev, queryFeats, e.cfg.Precision, e.cfg.Scale, &e.qscratch)
 	}
 	if err != nil {
 		return nil, err
@@ -80,38 +84,46 @@ func (e *Engine) Search(queryFeats *blas.Matrix, queryKps []sift.Keypoint) (*Rep
 	}
 
 	start := e.dev.Synchronize()
-	// Round-robin issue across streams: chunk r of stream s is batch
-	// items[r*S+s]. Interleaving approximates concurrent host threads
-	// while keeping the simulation deterministic. Each batch's results
-	// alias e.scratch, so they are scored immediately — before the next
-	// issue reuses the buffers (stream closures run eagerly at enqueue).
-	S := len(e.streams)
-	for base := 0; base < len(items); base += S {
-		for s := 0; s < S && base+s < len(items); s++ {
-			it := items[base+s]
-			sb := it.Payload.(*sealedBatch)
-			stream := e.streams[s]
-			if it.Loc == cache.OnHost {
-				// Stream the batch into this stream's staging buffer.
-				stream.CopyH2D(sb.rb.Bytes(), e.cfg.PinnedHost, nil)
-			}
-			res, err := knn.MatchBatchScratch(stream, sb.rb, q, opts, &e.scratch)
-			if err != nil {
-				return nil, err
-			}
-			report.Compared += sb.rb.Count()
-			if phantom {
-				continue
-			}
-			// Score every live reference in this batch.
-			for _, pair := range res {
-				public, live := e.uidToPublic[pair.RefID]
-				if !live {
+	if e.cfg.PruneC > 0 {
+		// Two-phase path: Hamming prefilter scan, then exact rerank of
+		// the surviving candidates only.
+		if err := e.prunedPass(q, queryFeats, queryKps, opts, items, report, phantom); err != nil {
+			return nil, err
+		}
+	} else {
+		// Round-robin issue across streams: chunk r of stream s is batch
+		// items[r*S+s]. Interleaving approximates concurrent host threads
+		// while keeping the simulation deterministic. Each batch's results
+		// alias e.scratch, so they are scored immediately — before the next
+		// issue reuses the buffers (stream closures run eagerly at enqueue).
+		S := len(e.streams)
+		for base := 0; base < len(items); base += S {
+			for s := 0; s < S && base+s < len(items); s++ {
+				it := items[base+s]
+				sb := it.Payload.(*sealedBatch)
+				stream := e.streams[s]
+				if it.Loc == cache.OnHost {
+					// Stream the batch into this stream's staging buffer.
+					stream.CopyH2D(sb.rb.Bytes(), e.cfg.PinnedHost, nil)
+				}
+				res, err := knn.MatchBatchScratch(stream, sb.rb, q, opts, &e.scratch)
+				if err != nil {
+					return nil, err
+				}
+				report.Compared += sb.rb.Count()
+				if phantom {
 					continue
 				}
-				meta := e.refs[public]
-				score := match.PairScore(pair, meta.kps, queryKps, e.cfg.Match)
-				report.Ranked = append(report.Ranked, match.SearchResult{RefID: public, Score: score})
+				// Score every live reference in this batch.
+				for _, pair := range res {
+					public, live := e.uidToPublic[pair.RefID]
+					if !live {
+						continue
+					}
+					meta := e.refs[public]
+					score := match.PairScore(pair, meta.kps, queryKps, e.cfg.Match)
+					report.Ranked = append(report.Ranked, match.SearchResult{RefID: public, Score: score})
+				}
 			}
 		}
 	}

@@ -59,7 +59,7 @@ func (e *Engine) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoi
 			if qf.Rows != e.cfg.Dim {
 				return nil, fmt.Errorf("engine: query %d dim %d, want %d", i, qf.Rows, e.cfg.Dim)
 			}
-			q, err = knn.NewQuery(e.dev, padQueryColumns(qf, e.cfg.QueryFeatures), e.cfg.Scale)
+			q, err = knn.NewQuery(e.dev, padQueryColumns(qf, e.cfg.QueryFeatures), e.cfg.Precision, e.cfg.Scale)
 		}
 		if err != nil {
 			return nil, err
@@ -94,40 +94,46 @@ func (e *Engine) SearchBatch(queryFeats []*blas.Matrix, queryKps [][]sift.Keypoi
 	}
 
 	start := e.dev.Synchronize()
-	S := len(e.streams)
-	// Results alias e.scratch, so each batch is scored before the next
-	// issue reuses the buffers (stream closures run eagerly at enqueue).
-	// Scoring batch-major preserves each query's ranking order: every
-	// query's candidates still arrive in reference-batch order.
-	for base := 0; base < len(items); base += S {
-		for s := 0; s < S && base+s < len(items); s++ {
-			it := items[base+s]
-			sb := it.Payload.(*sealedBatch)
-			stream := e.streams[s]
-			if it.Loc == cache.OnHost {
-				stream.CopyH2D(sb.rb.Bytes(), e.cfg.PinnedHost, nil)
-			}
-			res, err := knn.MatchMultiQueryInto(stream, sb.rb, mq, opts, &e.scratch)
-			if err != nil {
-				return nil, err
-			}
-			for qi, rep := range reports {
-				rep.Compared += sb.rb.Count()
-				if phantom {
-					continue
+	if e.cfg.PruneC > 0 {
+		if err := e.prunedBatchPass(mq, queryFeats, queryKps, opts, items, reports, phantom); err != nil {
+			return nil, err
+		}
+	} else {
+		S := len(e.streams)
+		// Results alias e.scratch, so each batch is scored before the next
+		// issue reuses the buffers (stream closures run eagerly at enqueue).
+		// Scoring batch-major preserves each query's ranking order: every
+		// query's candidates still arrive in reference-batch order.
+		for base := 0; base < len(items); base += S {
+			for s := 0; s < S && base+s < len(items); s++ {
+				it := items[base+s]
+				sb := it.Payload.(*sealedBatch)
+				stream := e.streams[s]
+				if it.Loc == cache.OnHost {
+					stream.CopyH2D(sb.rb.Bytes(), e.cfg.PinnedHost, nil)
 				}
-				for _, pair := range res[qi] {
-					public, live := e.uidToPublic[pair.RefID]
-					if !live {
+				res, err := knn.MatchMultiQueryInto(stream, sb.rb, mq, opts, &e.scratch)
+				if err != nil {
+					return nil, err
+				}
+				for qi, rep := range reports {
+					rep.Compared += sb.rb.Count()
+					if phantom {
 						continue
 					}
-					meta := e.refs[public]
-					var kps []sift.Keypoint
-					if queryKps != nil && qi < len(queryKps) {
-						kps = queryKps[qi]
+					for _, pair := range res[qi] {
+						public, live := e.uidToPublic[pair.RefID]
+						if !live {
+							continue
+						}
+						meta := e.refs[public]
+						var kps []sift.Keypoint
+						if queryKps != nil && qi < len(queryKps) {
+							kps = queryKps[qi]
+						}
+						score := match.PairScore(pair, meta.kps, kps, e.cfg.Match)
+						rep.Ranked = append(rep.Ranked, match.SearchResult{RefID: public, Score: score})
 					}
-					score := match.PairScore(pair, meta.kps, kps, e.cfg.Match)
-					rep.Ranked = append(rep.Ranked, match.SearchResult{RefID: public, Score: score})
 				}
 			}
 		}

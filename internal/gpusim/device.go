@@ -285,6 +285,13 @@ func (s *Stream) Elementwise(op string, bytes int64, fn func()) float64 {
 	return s.dev.schedule(s, &s.dev.compute, op, s.dev.Spec.ElementwiseTimeUS(bytes), s.dev.kernelCoV())
 }
 
+// BinaryScan enqueues the Hamming prefilter scan (codes packed binary
+// codes × probes query codes) on the compute engine.
+func (s *Stream) BinaryScan(codes, probes, words int, fn func()) float64 {
+	run(fn)
+	return s.dev.schedule(s, &s.dev.compute, "binscan", s.dev.Spec.BinaryScanTimeUS(codes, probes, words), s.dev.kernelCoV())
+}
+
 // BaselineMatch enqueues the monolithic OpenCV-CUDA brute-force 2-NN
 // kernel for one image pair.
 func (s *Stream) BaselineMatch(m, n, k int, fn func()) float64 {

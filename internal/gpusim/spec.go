@@ -326,6 +326,30 @@ func (s *DeviceSpec) HammingMatchTimeUS(m, n, batch, words int) float64 {
 	return ops / (s.GemmFP32.PeakTFLOPS * 1e12 * intEff) * 1e6
 }
 
+// BinaryScanTimeUS models the Hamming prefilter scan: every resident code
+// (codes of W 64-bit words each) is XOR+popcount-compared against a small
+// set of query probe codes, keeping a per-image running sum. With W=2 the
+// kernel reads 16 bytes per code once and does probes·(3W+2) integer ops on
+// it, so for realistic probe counts it is bandwidth-bound — the time is the
+// max of the streaming-read term and the integer-throughput term (same
+// conservative 30% of FP32 peak as HammingMatchTimeUS), clamped to the
+// kernel launch floor.
+func (s *DeviceSpec) BinaryScanTimeUS(codes, probes, words int) float64 {
+	bytes := float64(codes) * float64(words) * 8
+	bw := bytes / (s.MemBWGBs * s.MemBWEff * 1e9) * 1e6
+	ops := float64(codes) * float64(probes) * (3*float64(words) + 2)
+	const intEff = 0.30
+	compute := ops / (s.GemmFP32.PeakTFLOPS * 1e12 * intEff) * 1e6
+	t := bw
+	if compute > t {
+		t = compute
+	}
+	if t < s.KernelFloorUS {
+		t = s.KernelFloorUS
+	}
+	return t
+}
+
 // BaselineMatchTimeUS models the monolithic OpenCV-CUDA brute-force 2-NN
 // kernel for one reference-query pair (m×n distances over k dims).
 func (s *DeviceSpec) BaselineMatchTimeUS(m, n, k int) float64 {

@@ -1,0 +1,203 @@
+package knn
+
+import (
+	"fmt"
+
+	"texid/internal/blas"
+	"texid/internal/gpusim"
+)
+
+// Candidate rerank: the exact 2-NN restricted to a pruned slot subset of a
+// reference batch. The Hamming prefilter (internal/binq) selects top-C
+// candidate images per query; these variants run the same GEMM + fused
+// top-2/sqrt pipeline as matchRootSIFT/MatchMultiQueryInto but only over
+// the selected slots, producing scores bitwise identical to the full
+// match's for those references:
+//
+//   - FP32: GemmTN's per-element value is one sequential FMA chain over
+//     the two operand columns (see gemm.go), so a per-slot GemmTN over a
+//     column slice of the resident operand writes the same bits as the
+//     corresponding rows of the full batched GEMM.
+//   - FP16: hgemmCore consumes only the widened k-stride staging, served
+//     from the batch's cached Panel; a candidate slot's staging is the
+//     contiguous chunk aw[slot*m*k:(slot+1)*m*k], fed through
+//     blas.HGemmTNStaged with the same per-element chains.
+//
+// Only the RootSIFT (Algorithm 2) path is supported — pruning exists for
+// the production configuration.
+
+// rowBlockView returns rows [lo, lo+rows) of C as a strided view (no
+// allocation; the value aliases C's storage).
+func rowBlockView(C *blas.Matrix, lo, rows int) blas.Matrix {
+	return blas.Matrix{Rows: rows, Cols: C.Cols, Stride: C.Stride, Data: C.Data[lo:]}
+}
+
+// MatchCandidatesScratch runs the exact RootSIFT 2-NN of one query against
+// only the given slots (ascending indices into rb's images), enqueuing the
+// gather + GEMM + top-2 pipeline on stream. Results (one Pair2NN per slot,
+// in slot order) are bitwise identical to the corresponding entries of
+// MatchBatchScratch and alias sc like every *Scratch variant. Phantom
+// inputs produce timing-only shells.
+//
+//texlint:hotpath
+//texlint:scratchalias
+//texlint:ignore streampair the engine synchronizes the device after issuing every batch
+func MatchCandidatesScratch(stream *gpusim.Stream, rb *RefBatch, q *Query, slots []int32, opts Options, sc *Scratch) ([]Pair2NN, error) {
+	if opts.Algorithm != RootSIFT {
+		return nil, fmt.Errorf("knn: candidate pruning supports the RootSIFT path only, got %v", opts.Algorithm)
+	}
+	if rb.D != q.D {
+		return nil, fmt.Errorf("knn: dimension mismatch: refs d=%d, query d=%d", rb.D, q.D)
+	}
+	nc := len(slots)
+	if nc == 0 {
+		return nil, nil
+	}
+	m, n, d := rb.M, q.N, rb.D
+	prec := opts.Precision
+	phantom := rb.phantom || q.phantom
+	if prec == gpusim.FP16 && !phantom && (rb.F16 == nil || q.F16 == nil) {
+		return nil, fmt.Errorf("knn: FP16 candidate match on FP32-staged operands")
+	}
+
+	ids := sc.candSlots(rb, slots)
+	results := sc.pairSlab(ids, n, phantom)
+	var C *blas.Matrix
+	if !phantom {
+		C = sc.matrix(nc*m, n)
+	}
+
+	// Gather: the selected slots' feature columns stream through device
+	// memory once to form the contiguous rerank operand.
+	stream.Elementwise("binq/gather", 2*int64(nc)*int64(m)*int64(d)*int64(prec.ElemBytes()), nil)
+
+	// One GEMM covering the gathered candidate operand.
+	stream.Gemm(nc*m, n, d, prec, func() {
+		if phantom {
+			return
+		}
+		if prec == gpusim.FP16 {
+			aw := rb.Panel().For(rb.F16)
+			sc.qstage = blas.StageHalf(q.F16, sc.qstage)
+			for si, slot := range slots {
+				cv := rowBlockView(C, si*m, m)
+				blas.HGemmTNStaged(-2, aw[int(slot)*m*d:(int(slot)+1)*m*d], sc.qstage, m, n, d, opts.Accum, &cv)
+			}
+			inv := 1 / (rb.Scale * q.Scale)
+			for i := range C.Data {
+				C.Data[i] *= inv
+			}
+		} else {
+			for si, slot := range slots {
+				av := rb.F32.SliceView(int(slot)*m, (int(slot)+1)*m)
+				cv := rowBlockView(C, si*m, m)
+				blas.GemmTN(-2, &av, q.F32, 0, &cv)
+			}
+		}
+	})
+
+	// Fused top-2 + sqrt(2+A) over the candidate blocks.
+	stream.Top2Scan(m, n, nc, prec, func() {
+		if phantom {
+			return
+		}
+		blas.Parallel(nc, func(b int) {
+			p := &results[b]
+			blas.Top2AddRows(C, nil, b*m, (b+1)*m, p.Best, p.Second, p.BestIdx)
+			for j := range p.Best {
+				p.Best[j] = sqrt32(2 + p.Best[j])
+				p.Second[j] = sqrt32(2 + p.Second[j])
+			}
+		})
+	})
+
+	stream.CopyD2H(int64(nc)*resultBytes(n, prec), false, nil)
+	stream.HostPost(nc, prec, nil)
+	return results, nil
+}
+
+// MatchMultiQueryCandidates is the multi-query form: the exact 2-NN of a
+// prepared query batch against only the given slots (typically the union
+// of the per-query candidate sets for this reference batch). The result is
+// indexed [query][slot position]; each entry is bitwise identical to the
+// corresponding MatchMultiQueryInto entry. Results alias sc.
+//
+//texlint:hotpath
+//texlint:scratchalias
+//texlint:ignore streampair the engine synchronizes the device after issuing every batch
+func MatchMultiQueryCandidates(stream *gpusim.Stream, rb *RefBatch, mq *MultiQuery, slots []int32, opts Options, sc *Scratch) ([][]Pair2NN, error) {
+	if opts.Algorithm != RootSIFT {
+		return nil, fmt.Errorf("knn: candidate pruning supports the RootSIFT path only, got %v", opts.Algorithm)
+	}
+	for i, q := range mq.queries {
+		if q.D != rb.D {
+			return nil, fmt.Errorf("knn: query %d dimension %d, refs %d", i, q.D, rb.D)
+		}
+	}
+	nc := len(slots)
+	if nc == 0 {
+		return nil, nil
+	}
+	Bq := len(mq.queries)
+	m, n, d := rb.M, mq.n, rb.D
+	prec := opts.Precision
+	phantom := rb.phantom || mq.phantom
+	if prec == gpusim.FP16 && !phantom && (rb.F16 == nil || mq.catF16 == nil) {
+		return nil, fmt.Errorf("knn: FP16 candidate match on FP32-staged operands")
+	}
+
+	ids := sc.candSlots(rb, slots)
+	results := sc.multiSlab(ids, Bq, n, phantom)
+	var C *blas.Matrix
+	if !phantom {
+		C = sc.matrix(nc*m, Bq*n)
+	}
+
+	stream.Elementwise("binq/gather", 2*int64(nc)*int64(m)*int64(d)*int64(prec.ElemBytes()), nil)
+
+	stream.Gemm(nc*m, Bq*n, d, prec, func() {
+		if phantom {
+			return
+		}
+		if prec == gpusim.FP16 {
+			aw := rb.Panel().For(rb.F16)
+			sc.qstage = blas.StageHalf(mq.catF16, sc.qstage)
+			for si, slot := range slots {
+				cv := rowBlockView(C, si*m, m)
+				blas.HGemmTNStaged(-2, aw[int(slot)*m*d:(int(slot)+1)*m*d], sc.qstage, m, Bq*n, d, opts.Accum, &cv)
+			}
+			inv := 1 / (rb.Scale * mq.queries[0].Scale)
+			for i := range C.Data {
+				C.Data[i] *= inv
+			}
+		} else {
+			for si, slot := range slots {
+				av := rb.F32.SliceView(int(slot)*m, (int(slot)+1)*m)
+				cv := rowBlockView(C, si*m, m)
+				blas.GemmTN(-2, &av, mq.catF32, 0, &cv)
+			}
+		}
+	})
+
+	stream.Top2Scan(m, n*Bq, nc, prec, func() {
+		if phantom {
+			return
+		}
+		blas.Parallel(Bq, func(qi int) {
+			sub := C.SliceView(qi*n, (qi+1)*n)
+			rs := results[qi]
+			for b := 0; b < nc; b++ {
+				p := &rs[b]
+				blas.Top2AddRows(&sub, nil, b*m, (b+1)*m, p.Best, p.Second, p.BestIdx)
+				for j := range p.Best {
+					p.Best[j] = sqrt32(2 + p.Best[j])
+					p.Second[j] = sqrt32(2 + p.Second[j])
+				}
+			}
+		})
+	})
+
+	stream.CopyD2H(int64(nc)*int64(Bq)*resultBytes(n, prec), false, nil)
+	stream.HostPost(nc*Bq, prec, nil)
+	return results, nil
+}

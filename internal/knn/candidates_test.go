@@ -1,0 +1,166 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"texid/internal/blas"
+	"texid/internal/gpusim"
+)
+
+// TestCandidatesBitwiseEqualFullMatch is the determinism contract of the
+// pruned rerank: for every precision, the candidate-restricted match must
+// produce, slot for slot, the exact bits the full match produced for those
+// references — not merely close values.
+func TestCandidatesBitwiseEqualFullMatch(t *testing.T) {
+	for _, prec := range []gpusim.Precision{gpusim.FP32, gpusim.FP16} {
+		t.Run(prec.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			d, m, n, B := 64, 48, 24, 7
+			dev := newTestDevice()
+			stream := dev.NewStream()
+
+			refs := make([]*blas.Matrix, B)
+			ids := make([]int, B)
+			for i := range refs {
+				refs[i] = rootSIFTFeatures(rng, d, m)
+				ids[i] = 100 + i
+			}
+			rb, err := NewRefBatch(dev, ids, refs, prec, 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rb.Free()
+			qm := rootSIFTFeatures(rng, d, n)
+			q, err := NewQuery(dev, qm, prec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer q.Free()
+			opts := Options{Algorithm: RootSIFT, Precision: prec, Scale: 1}
+
+			full, err := MatchBatchScratch(stream, rb, q, opts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			slots := []int32{0, 2, 3, 6}
+			var sc Scratch
+			got, err := MatchCandidatesScratch(stream, rb, q, slots, opts, &sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(slots) {
+				t.Fatalf("%d results, want %d", len(got), len(slots))
+			}
+			for si, slot := range slots {
+				want := full[slot]
+				if got[si].RefID != want.RefID {
+					t.Fatalf("slot %d: ref %d, want %d", slot, got[si].RefID, want.RefID)
+				}
+				for j := 0; j < n; j++ {
+					if math.Float32bits(got[si].Best[j]) != math.Float32bits(want.Best[j]) ||
+						math.Float32bits(got[si].Second[j]) != math.Float32bits(want.Second[j]) ||
+						got[si].BestIdx[j] != want.BestIdx[j] {
+						t.Fatalf("slot %d query %d: (%x,%x,%d) != full (%x,%x,%d)",
+							slot, j,
+							math.Float32bits(got[si].Best[j]), math.Float32bits(got[si].Second[j]), got[si].BestIdx[j],
+							math.Float32bits(want.Best[j]), math.Float32bits(want.Second[j]), want.BestIdx[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiQueryCandidatesBitwiseEqual pins the same contract for the
+// batched-query form against MatchMultiQueryInto.
+func TestMultiQueryCandidatesBitwiseEqual(t *testing.T) {
+	for _, prec := range []gpusim.Precision{gpusim.FP32, gpusim.FP16} {
+		t.Run(prec.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(12))
+			d, m, n, B, Bq := 32, 40, 16, 6, 3
+			dev := newTestDevice()
+			stream := dev.NewStream()
+
+			refs := make([]*blas.Matrix, B)
+			ids := make([]int, B)
+			for i := range refs {
+				refs[i] = rootSIFTFeatures(rng, d, m)
+				ids[i] = i
+			}
+			rb, err := NewRefBatch(dev, ids, refs, prec, 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rb.Free()
+			queries := make([]*Query, Bq)
+			for i := range queries {
+				queries[i], err = NewQuery(dev, rootSIFTFeatures(rng, d, n), prec, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer queries[i].Free()
+			}
+			opts := Options{Algorithm: RootSIFT, Precision: prec, Scale: 1}
+
+			var full Scratch
+			mq, err := BuildMultiQuery(queries, prec, &full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := MatchMultiQueryInto(stream, rb, mq, opts, &full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deep-copy before the scratch is reused below.
+			wantCopy := make([][]Pair2NN, Bq)
+			for qi := range want {
+				wantCopy[qi] = make([]Pair2NN, len(want[qi]))
+				for b, p := range want[qi] {
+					wantCopy[qi][b] = Pair2NN{
+						RefID:   p.RefID,
+						Best:    append([]float32(nil), p.Best...),
+						Second:  append([]float32(nil), p.Second...),
+						BestIdx: append([]int32(nil), p.BestIdx...),
+					}
+				}
+			}
+
+			slots := []int32{1, 4, 5}
+			got, err := MatchMultiQueryCandidates(stream, rb, mq, slots, opts, &full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := 0; qi < Bq; qi++ {
+				for si, slot := range slots {
+					g, w := got[qi][si], wantCopy[qi][slot]
+					if g.RefID != w.RefID {
+						t.Fatalf("query %d slot %d: ref %d, want %d", qi, slot, g.RefID, w.RefID)
+					}
+					for j := range g.Best {
+						if math.Float32bits(g.Best[j]) != math.Float32bits(w.Best[j]) ||
+							math.Float32bits(g.Second[j]) != math.Float32bits(w.Second[j]) ||
+							g.BestIdx[j] != w.BestIdx[j] {
+							t.Fatalf("query %d slot %d col %d: bits differ from full match", qi, slot, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCandidatesRejectsNonRootSIFT: pruning exists for the production
+// Algorithm 2 path only.
+func TestCandidatesRejectsNonRootSIFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dev := newTestDevice()
+	stream := dev.NewStream()
+	rb, _ := NewRefBatch(dev, []int{0}, []*blas.Matrix{rootSIFTFeatures(rng, 16, 8)}, gpusim.FP32, 1, true)
+	q, _ := NewQuery(dev, rootSIFTFeatures(rng, 16, 4), gpusim.FP32, 1)
+	if _, err := MatchCandidatesScratch(stream, rb, q, []int32{0}, Options{Algorithm: Eq1Top2}, nil); err == nil {
+		t.Fatal("non-RootSIFT candidate match accepted")
+	}
+}

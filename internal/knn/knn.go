@@ -21,6 +21,7 @@ package knn
 import (
 	"fmt"
 
+	"texid/internal/binq"
 	"texid/internal/blas"
 	"texid/internal/gpusim"
 )
@@ -93,6 +94,18 @@ type RefBatch struct {
 	bytes    int64
 	freed    bool
 	phantom  bool
+
+	// codes is the batch's binary prefilter panel: one packed 128-bit code
+	// per descriptor, slot i's codes at codes[i*M:(i+1)*M] (mirroring the
+	// concatenated feature layout). Unlike the feature payload, the code
+	// panel stays device-resident across cache demotion — at 16 bytes per
+	// descriptor it is ~6% of the FP16 feature footprint, and keeping it on
+	// the device is what lets the Hamming scan run without re-streaming
+	// demoted batches. Nil when pruning is disabled; nil with codeBytes > 0
+	// for phantom batches.
+	codes      []binq.Code
+	codeBytes  int64
+	codesFreed bool
 
 	// panel caches the widened float32 staging of F16 across searches, so
 	// the resident reference operand is converted once per batch lifetime
@@ -205,7 +218,9 @@ func PhantomRefBatch(dev *gpusim.Device, count, m, d int, prec gpusim.Precision,
 
 // Free releases the batch's device memory. The batch data (if any) stays in
 // host memory and Bytes() keeps reporting the logical size, so a demoted
-// batch can still be streamed back to the device.
+// batch can still be streamed back to the device. The binary code panel, if
+// attached, deliberately survives demotion: FreeCodes releases it when the
+// batch leaves the index for good.
 func (rb *RefBatch) Free() {
 	if !rb.freed {
 		rb.dev.Free(rb.bytes)
@@ -213,13 +228,51 @@ func (rb *RefBatch) Free() {
 	}
 }
 
-// Query is a query feature matrix staged in device memory, kept in both
-// precisions so one upload serves every algorithm variant.
+// AttachCodes stores the batch's binary prefilter code panel and charges
+// its device footprint (count·M codes of 16 bytes). codes may be nil for
+// phantom batches, in which case only the footprint is charged. The panel
+// is charged outside Bytes() because it is never demoted with the feature
+// payload — the scan must always find it resident.
+func (rb *RefBatch) AttachCodes(codes []binq.Code, count int) error {
+	if codes != nil && len(codes) != count*rb.M {
+		return fmt.Errorf("knn: %d codes for %d references of %d descriptors", len(codes), count, rb.M)
+	}
+	bytes := int64(count) * int64(rb.M) * binq.Bytes
+	if err := rb.dev.Alloc(bytes); err != nil {
+		return err
+	}
+	rb.codes = codes
+	rb.codeBytes = bytes
+	rb.codesFreed = false
+	return nil
+}
+
+// Codes returns the batch's binary code panel (nil when pruning is off or
+// the batch is phantom).
+func (rb *RefBatch) Codes() []binq.Code { return rb.codes }
+
+// CodeBytes returns the device footprint of the attached code panel.
+func (rb *RefBatch) CodeBytes() int64 { return rb.codeBytes }
+
+// FreeCodes releases the code panel's device memory. Call it when the
+// batch leaves the index permanently; demotion must not.
+func (rb *RefBatch) FreeCodes() {
+	if rb.codeBytes > 0 && !rb.codesFreed {
+		rb.dev.Free(rb.codeBytes)
+		rb.codesFreed = true
+		rb.codes = nil
+	}
+}
+
+// Query is a query feature matrix staged in device memory. FP16 queries
+// are staged in both precisions so one upload serves every algorithm
+// variant; pure-FP32 queries skip the binary16 conversion and its device
+// footprint entirely.
 type Query struct {
 	dev      *gpusim.Device
 	N, D     int
 	F32      *blas.Matrix
-	F16      *blas.HalfMatrix
+	F16      *blas.HalfMatrix // nil for FP32-staged queries
 	Norms    []float32
 	Scale    float32
 	Overflow int
@@ -227,8 +280,22 @@ type Query struct {
 	phantom  bool
 }
 
-// NewQuery uploads a query feature matrix (d×n).
-func NewQuery(dev *gpusim.Device, mat *blas.Matrix, scale float32) (*Query, error) {
+// queryBytes is the device footprint of a staged query: 4 bytes/element
+// for the FP32 copy, plus 2 for the binary16 copy when the engine runs
+// FP16.
+func queryBytes(n, d int, prec gpusim.Precision) int64 {
+	per := int64(4)
+	if prec == gpusim.FP16 {
+		per = 6
+	}
+	return int64(n) * int64(d) * per
+}
+
+// NewQuery uploads a query feature matrix (d×n), staged for the given
+// engine precision: FP32 engines pay neither the HalfFromMatrix conversion
+// nor the fp16 copy's device bytes; FP16 engines stage both copies so the
+// same upload serves the FP32-realm variants (Baseline, norms).
+func NewQuery(dev *gpusim.Device, mat *blas.Matrix, prec gpusim.Precision, scale float32) (*Query, error) {
 	if scale == 0 {
 		scale = 1
 	}
@@ -239,9 +306,11 @@ func NewQuery(dev *gpusim.Device, mat *blas.Matrix, scale float32) (*Query, erro
 		F32:   mat,
 		Norms: blas.SquaredNorms(mat),
 		Scale: scale,
-		bytes: int64(mat.Cols) * int64(mat.Rows) * 6, // fp32 + fp16 copies
+		bytes: queryBytes(mat.Cols, mat.Rows, prec),
 	}
-	q.F16, q.Overflow = blas.HalfFromMatrix(mat, scale)
+	if prec == gpusim.FP16 {
+		q.F16, q.Overflow = blas.HalfFromMatrix(mat, scale)
+	}
 	if err := dev.Alloc(q.bytes); err != nil {
 		return nil, err
 	}

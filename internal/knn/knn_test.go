@@ -48,7 +48,7 @@ func TestAllAlgorithmsAgreeWithBruteForce(t *testing.T) {
 
 	refs := []*blas.Matrix{rootSIFTFeatures(rng, d, m), rootSIFTFeatures(rng, d, m)}
 	qm := rootSIFTFeatures(rng, d, n)
-	q, err := NewQuery(dev, qm, 1)
+	q, err := NewQuery(dev, qm, gpusim.FP32, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestFP16MatchesFP32Closely(t *testing.T) {
 
 	refs := []*blas.Matrix{rootSIFTFeatures(rng, d, m)}
 	qm := rootSIFTFeatures(rng, d, n)
-	q, _ := NewQuery(dev, qm, 1)
+	q, _ := NewQuery(dev, qm, gpusim.FP16, 1)
 	oracle := bruteForce2NN(0, refs[0], qm)
 
 	rb, err := NewRefBatch(dev, []int{0}, refs, gpusim.FP16, 1, false)
@@ -136,7 +136,7 @@ func TestFP16ScaledEq1Matches(t *testing.T) {
 	refs := []*blas.Matrix{randomFeatures(rng, d, m, 512)}
 	qm := randomFeatures(rng, d, n, 512)
 	scale := half.PowerOfTwoScale(-7)
-	q, _ := NewQuery(dev, qm, scale)
+	q, _ := NewQuery(dev, qm, gpusim.FP16, scale)
 	oracle := bruteForce2NN(0, refs[0], qm)
 
 	rb, err := NewRefBatch(dev, []int{0}, refs, gpusim.FP16, scale, true)
@@ -167,7 +167,7 @@ func TestUnscaledSIFTOverflows(t *testing.T) {
 
 	refs := []*blas.Matrix{randomFeatures(rng, d, m, 512)}
 	qm := randomFeatures(rng, d, n, 512)
-	q, _ := NewQuery(dev, qm, 1)
+	q, _ := NewQuery(dev, qm, gpusim.FP16, 1)
 	rb, _ := NewRefBatch(dev, []int{0}, refs, gpusim.FP16, 1, true)
 	got, err := MatchBatch(stream, rb, q, Options{
 		Algorithm: Eq1Top2, Precision: gpusim.FP16, Scale: 1, Accum: blas.AccumFP16,
@@ -201,7 +201,7 @@ func TestBatchEqualsSequential(t *testing.T) {
 		ids[i] = 100 + i
 	}
 	qm := rootSIFTFeatures(rng, d, n)
-	q, _ := NewQuery(dev, qm, 1)
+	q, _ := NewQuery(dev, qm, gpusim.FP32, 1)
 
 	batched, _ := NewRefBatch(dev, ids, refs, gpusim.FP32, 1, false)
 	got, err := MatchBatch(stream, batched, q, Options{Algorithm: RootSIFT, Precision: gpusim.FP32})
@@ -291,7 +291,7 @@ func TestDimensionMismatchRejected(t *testing.T) {
 	stream := dev.NewStream()
 	rng := rand.New(rand.NewSource(7))
 	rb, _ := NewRefBatch(dev, []int{0}, []*blas.Matrix{randomFeatures(rng, 16, 4, 1)}, gpusim.FP32, 1, true)
-	q, _ := NewQuery(dev, randomFeatures(rng, 32, 4, 1), 1)
+	q, _ := NewQuery(dev, randomFeatures(rng, 32, 4, 1), gpusim.FP32, 1)
 	if _, err := MatchBatch(stream, rb, q, Options{Algorithm: Eq1Top2}); err == nil {
 		t.Fatal("want dimension mismatch error")
 	}

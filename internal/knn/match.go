@@ -74,6 +74,9 @@ func matchEq1(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, sc *S
 	if prec == gpusim.FP16 && rb.F16 == nil && !rb.phantom {
 		return nil, fmt.Errorf("knn: FP16 match on an FP32 reference batch")
 	}
+	if prec == gpusim.FP16 && q.F16 == nil && !q.phantom {
+		return nil, fmt.Errorf("knn: FP16 match on an FP32-staged query (stage with Precision FP16)")
+	}
 	if rb.Norms == nil && !rb.phantom {
 		return nil, fmt.Errorf("knn: Algorithm 1 requires reference norms (withNorms=true)")
 	}
@@ -153,6 +156,9 @@ func matchRootSIFT(stream *gpusim.Stream, rb *RefBatch, q *Query, opts Options, 
 	m, n, d := rb.M, q.N, rb.D
 	prec := opts.Precision
 	phantom := rb.phantom || q.phantom
+	if prec == gpusim.FP16 && !phantom && (rb.F16 == nil || q.F16 == nil) {
+		return nil, fmt.Errorf("knn: FP16 match on FP32-staged operands (stage with Precision FP16)")
+	}
 
 	var C *blas.Matrix
 	results := sc.pairSlab(rb.IDs, n, phantom)

@@ -23,7 +23,7 @@ func TestMultiQueryMatchesSingleQuery(t *testing.T) {
 	qmats := []*blas.Matrix{rootSIFTFeatures(rng, d, n), rootSIFTFeatures(rng, d, n)}
 	queries := make([]*Query, len(qmats))
 	for i, qm := range qmats {
-		queries[i], err = NewQuery(dev, qm, 1)
+		queries[i], err = NewQuery(dev, qm, gpusim.FP32, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,8 +61,8 @@ func TestMultiQueryFP16(t *testing.T) {
 	stream := dev.NewStream()
 	refs := []*blas.Matrix{rootSIFTFeatures(rng, d, m)}
 	rb, _ := NewRefBatch(dev, []int{0}, refs, gpusim.FP16, 1, false)
-	q1, _ := NewQuery(dev, rootSIFTFeatures(rng, d, n), 1)
-	q2, _ := NewQuery(dev, rootSIFTFeatures(rng, d, n), 1)
+	q1, _ := NewQuery(dev, rootSIFTFeatures(rng, d, n), gpusim.FP16, 1)
+	q2, _ := NewQuery(dev, rootSIFTFeatures(rng, d, n), gpusim.FP16, 1)
 	opts := Options{Algorithm: RootSIFT, Precision: gpusim.FP16, Scale: 1}
 	multi, err := MatchMultiQuery(stream, rb, []*Query{q1, q2}, opts)
 	if err != nil {
@@ -86,11 +86,11 @@ func TestMultiQueryValidation(t *testing.T) {
 	if _, err := MatchMultiQuery(stream, rb, nil, Options{Algorithm: RootSIFT}); err == nil {
 		t.Fatal("empty query batch accepted")
 	}
-	q, _ := NewQuery(dev, rootSIFTFeatures(rng, 16, 8), 1)
+	q, _ := NewQuery(dev, rootSIFTFeatures(rng, 16, 8), gpusim.FP16, 1)
 	if _, err := MatchMultiQuery(stream, rb, []*Query{q}, Options{Algorithm: Eq1Top2}); err == nil {
 		t.Fatal("non-RootSIFT algorithm accepted")
 	}
-	ragged, _ := NewQuery(dev, rootSIFTFeatures(rng, 16, 5), 1)
+	ragged, _ := NewQuery(dev, rootSIFTFeatures(rng, 16, 5), gpusim.FP16, 1)
 	if _, err := MatchMultiQuery(stream, rb, []*Query{q, ragged}, Options{Algorithm: RootSIFT}); err == nil {
 		t.Fatal("ragged query batch accepted")
 	}

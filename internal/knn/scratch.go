@@ -27,6 +27,31 @@ type Scratch struct {
 	multi  [][]Pair2NN
 	catF32 blas.Matrix
 	catF16 blas.HalfMatrix
+	// Candidate-rerank working set: the gathered reference ids of the
+	// pruned slots and the query operand's widened staging (built once per
+	// batch, shared by every candidate slot's staged GEMM).
+	candIDs []int
+	qstage  []float32
+}
+
+// candSlots gathers the reference ids of the given batch slots into the
+// reusable id buffer (or a fresh one when sc is nil).
+func (sc *Scratch) candSlots(rb *RefBatch, slots []int32) []int {
+	if sc == nil {
+		ids := make([]int, len(slots)) //texlint:ignore hotalloc nil-scratch fallback; the engine always threads a scratch
+		for i, s := range slots {
+			ids[i] = rb.IDs[s]
+		}
+		return ids
+	}
+	if cap(sc.candIDs) < len(slots) {
+		sc.candIDs = make([]int, len(slots))
+	}
+	sc.candIDs = sc.candIDs[:len(slots)]
+	for i, s := range slots {
+		sc.candIDs[i] = rb.IDs[s]
+	}
+	return sc.candIDs
 }
 
 // matrix returns a rows×cols matrix backed by the scratch buffer (or a
@@ -164,28 +189,31 @@ type QueryScratch struct {
 // NewQueryScratch is NewQuery staging into qs's buffers; with a nil qs it
 // is identical to NewQuery. The returned Query (and its matrices) alias qs
 // and are valid until the next NewQueryScratch call with the same qs.
+// Like NewQuery, the binary16 conversion (and its device bytes) are only
+// paid when the engine precision is FP16.
 //
 //texlint:hotpath
 //texlint:scratchalias
-func NewQueryScratch(dev *gpusim.Device, mat *blas.Matrix, scale float32, qs *QueryScratch) (*Query, error) {
+func NewQueryScratch(dev *gpusim.Device, mat *blas.Matrix, prec gpusim.Precision, scale float32, qs *QueryScratch) (*Query, error) {
 	if qs == nil {
-		return NewQuery(dev, mat, scale) //texlint:ignore hotalloc nil-scratch fallback; NewQuery allocates fresh buffers by contract
+		return NewQuery(dev, mat, prec, scale) //texlint:ignore hotalloc nil-scratch fallback; NewQuery allocates fresh buffers by contract
 	}
 	if scale == 0 {
 		scale = 1
 	}
 	qs.norms = blas.SquaredNormsInto(mat, qs.norms)
-	overflow := blas.HalfFromMatrixInto(mat, scale, &qs.half)
 	qs.q = Query{
-		dev:      dev,
-		N:        mat.Cols,
-		D:        mat.Rows,
-		F32:      mat,
-		F16:      &qs.half,
-		Norms:    qs.norms,
-		Scale:    scale,
-		Overflow: overflow,
-		bytes:    int64(mat.Cols) * int64(mat.Rows) * 6, // fp32 + fp16 copies
+		dev:   dev,
+		N:     mat.Cols,
+		D:     mat.Rows,
+		F32:   mat,
+		Norms: qs.norms,
+		Scale: scale,
+		bytes: queryBytes(mat.Cols, mat.Rows, prec),
+	}
+	if prec == gpusim.FP16 {
+		qs.q.Overflow = blas.HalfFromMatrixInto(mat, scale, &qs.half)
+		qs.q.F16 = &qs.half
 	}
 	if err := dev.Alloc(qs.q.bytes); err != nil {
 		return nil, err

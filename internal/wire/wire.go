@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"texid/internal/binq"
 	"texid/internal/blas"
 	"texid/internal/gpusim"
 	"texid/internal/half"
@@ -19,10 +20,15 @@ import (
 	"texid/internal/sift"
 )
 
-// magic and version guard decoding of foreign bytes.
+// magic and version guard decoding of foreign bytes. Version 1 is the
+// original record; version 2 appends the optional binary prefilter code
+// panel after the keypoints. Encode emits version 1 whenever no codes are
+// present, so pre-pruning byte streams (and their goldens) are unchanged,
+// and Decode accepts both.
 const (
-	magic   = 0x54584946 // "TXIF"
-	version = 1
+	magic    = 0x54584946 // "TXIF"
+	version  = 1
+	version2 = 2
 )
 
 // ErrCorrupt is returned when bytes do not parse as a feature record.
@@ -37,6 +43,11 @@ type FeatureRecord struct {
 	Features *blas.Matrix
 	// Keypoints is optional geometry for geometric verification.
 	Keypoints []sift.Keypoint
+	// Codes is the optional binary prefilter panel (one packed 128-bit
+	// code per descriptor column, len 0 or m). Persisting the enrolled
+	// codes keeps snapshot round-trips bit-exact instead of re-encoding
+	// from quantized features.
+	Codes []binq.Code
 }
 
 // appendUvarint appends v as an unsigned varint.
@@ -54,10 +65,14 @@ func Encode(r *FeatureRecord) []byte {
 	if r.Features != nil {
 		d, m = r.Features.Rows, r.Features.Cols
 	}
-	est := 64 + d*m*4 + len(r.Keypoints)*40
+	est := 64 + d*m*4 + len(r.Keypoints)*40 + len(r.Codes)*binq.Bytes
 	b := make([]byte, 0, est)
 	b = binary.LittleEndian.AppendUint32(b, magic)
-	b = append(b, version)
+	if len(r.Codes) > 0 {
+		b = append(b, version2)
+	} else {
+		b = append(b, version)
+	}
 	b = appendUvarint(b, uint64(r.ID))
 	b = append(b, byte(r.Precision))
 	b = binary.LittleEndian.AppendUint32(b, math.Float32bits(r.Scale))
@@ -87,6 +102,14 @@ func Encode(r *FeatureRecord) []byte {
 		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(kp.Sigma)))
 		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(kp.Angle)))
 		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(kp.Response)))
+	}
+	if len(r.Codes) > 0 {
+		b = appendUvarint(b, uint64(len(r.Codes)))
+		for _, c := range r.Codes {
+			for _, w := range c {
+				b = binary.LittleEndian.AppendUint64(b, w)
+			}
+		}
 	}
 	return b
 }
@@ -155,7 +178,8 @@ func Decode(b []byte) (*FeatureRecord, error) {
 	if r.u32() != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if v := r.byte(); v != version {
+	v := r.byte()
+	if v != version && v != version2 {
 		return nil, fmt.Errorf("wire: unsupported version %d", v)
 	}
 	rec := &FeatureRecord{}
@@ -224,6 +248,27 @@ func Decode(b []byte) (*FeatureRecord, error) {
 			Sigma:    float64(r.f32()),
 			Angle:    float64(r.f32()),
 			Response: float64(r.f32()),
+		}
+	}
+	if v >= version2 {
+		nc := int(r.uvarint())
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Codes are per-descriptor: the only legal counts are 0 and m.
+		if nc != 0 && nc != m {
+			return nil, fmt.Errorf("%w: %d codes for %d descriptors", ErrCorrupt, nc, m)
+		}
+		if need := nc * binq.Bytes; need > len(b)-r.pos {
+			return nil, fmt.Errorf("%w: truncated code payload", ErrCorrupt)
+		}
+		if nc > 0 {
+			rec.Codes = make([]binq.Code, nc)
+			for i := range rec.Codes {
+				for w := range rec.Codes[i] {
+					rec.Codes[i][w] = r.u64()
+				}
+			}
 		}
 	}
 	if r.err != nil {

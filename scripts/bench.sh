@@ -43,6 +43,12 @@ COUNT="${COUNT:-3}"
 MAX_NS=(
   -max-ns hgemm_tn_256x256x128=5509981
   -max-ns engine_search_steady_fp16=200000000
+  # The Hamming-prefilter pair: engine_search_steady_unpruned_10x measured
+  # ~992 ms/op on the 160-image shard (GOMAXPROCS=1); the pruned ceiling
+  # pins the prefiltered search to >=5x under that, and binq_scan_1m keeps
+  # the raw 1M-code scan kernel under 300 ms even single-threaded.
+  -max-ns engine_search_steady_pruned=198000000
+  -max-ns binq_scan_1m=300000000
 )
 
 if [[ "${UPDATE:-0}" == 1 ]]; then

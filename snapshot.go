@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
+	"texid/internal/binq"
 	"texid/internal/blas"
 	"texid/internal/limits"
 	"texid/internal/sift"
@@ -22,6 +24,10 @@ import (
 const (
 	snapshotMagic   = 0x54584442 // "TXDB"
 	snapshotVersion = 1
+	// snapshotVersion2 adds a binarization-threshold section between the
+	// header and the records, present only when the engine runs candidate
+	// pruning; pruning-off snapshots remain byte-identical version 1.
+	snapshotVersion2 = 2
 	// maxSnapshotRecord bounds one length-prefixed record (1 GB); larger
 	// prefixes are treated as corruption rather than allocation requests.
 	maxSnapshotRecord = 1 << 30
@@ -38,21 +44,45 @@ var ErrBadSnapshot = errors.New("texid: bad snapshot")
 //
 //texlint:deterministic
 func (s *System) Save(w io.Writer) error {
+	// Seal pending enrollments first so the thresholds (learned at seal
+	// time) exist before the header is committed.
+	if err := s.eng.Flush(); err != nil {
+		return err
+	}
+	thresh := s.eng.Thresholds()
 	bw := bufio.NewWriter(w)
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], snapshotMagic)
 	hdr[4] = snapshotVersion
+	if thresh != nil {
+		hdr[4] = snapshotVersion2
+	}
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
+	if thresh != nil {
+		var dim [4]byte
+		binary.LittleEndian.PutUint32(dim[:], uint32(len(thresh)))
+		if _, err := bw.Write(dim[:]); err != nil {
+			return err
+		}
+		var tb [4]byte
+		for _, t := range thresh {
+			binary.LittleEndian.PutUint32(tb[:], math.Float32bits(t))
+			if _, err := bw.Write(tb[:]); err != nil {
+				return err
+			}
+		}
+	}
 	count := 0
-	err := s.eng.Export(func(id int, feats *blas.Matrix, kps []sift.Keypoint) error {
+	err := s.eng.Export(func(id int, feats *blas.Matrix, kps []sift.Keypoint, codes []binq.Code) error {
 		rec := &wire.FeatureRecord{
 			ID:        int64(id),
 			Precision: s.cfg.Engine.Precision,
 			Scale:     s.cfg.Engine.Scale,
 			Features:  feats,
 			Keypoints: kps,
+			Codes:     codes,
 		}
 		b := wire.Encode(rec)
 		var sz [4]byte
@@ -92,8 +122,29 @@ func (s *System) Load(r io.Reader) (int, error) {
 	if binary.LittleEndian.Uint32(hdr[:4]) != snapshotMagic {
 		return 0, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
-	if hdr[4] != snapshotVersion {
+	if hdr[4] != snapshotVersion && hdr[4] != snapshotVersion2 {
 		return 0, fmt.Errorf("texid: unsupported snapshot version %d", hdr[4])
+	}
+	if hdr[4] >= snapshotVersion2 {
+		var dim [4]byte
+		if _, err := io.ReadFull(br, dim[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated threshold header", ErrBadSnapshot)
+		}
+		nd := int(binary.LittleEndian.Uint32(dim[:]))
+		if err := limits.Check("threshold dim", nd, 1<<16); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		thresh := make(binq.Thresholds, nd)
+		var tb [4]byte
+		for i := range thresh {
+			if _, err := io.ReadFull(br, tb[:]); err != nil {
+				return 0, fmt.Errorf("%w: truncated thresholds", ErrBadSnapshot)
+			}
+			thresh[i] = math.Float32frombits(binary.LittleEndian.Uint32(tb[:]))
+		}
+		if err := s.eng.SetThresholds(thresh); err != nil {
+			return 0, err
+		}
 	}
 	n := 0
 	for {
@@ -118,7 +169,7 @@ func (s *System) Load(r io.Reader) (int, error) {
 		if err != nil {
 			return n, fmt.Errorf("texid: snapshot record %d: %w", n, err)
 		}
-		if err := s.eng.Add(int(rec.ID), rec.Features, rec.Keypoints); err != nil {
+		if err := s.eng.AddEncoded(int(rec.ID), rec.Features, rec.Keypoints, rec.Codes); err != nil {
 			return n, err
 		}
 		n++
